@@ -1,0 +1,110 @@
+// E20 — §5.3.1 ablation: where do the gains come from?
+//
+//   * packing-only (eps = 0): most of the makespan gains, smaller JCT gain.
+//   * SRTF-only: JCT gains but fragments resources.
+//   * combined: better than either alone.
+//   * cpu+mem-only Tetris: reintroduces disk/network over-allocation —
+//     the paper attributes ~2/3 of its gains to avoiding over-allocation
+//     and ~1/3 to avoiding fragmentation.
+#include <iostream>
+
+#include "bench/harness.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  // Batch arrival creates the standing backlog where policy choices bind
+  // (also the paper's makespan methodology).
+  const sim::Workload w = bench::facebook_workload(scale, /*arrival=*/0);
+  const sim::SimConfig cfg = bench::facebook_cluster(scale);
+  std::cout << "facebook trace (batch arrival): " << w.jobs.size() << " jobs, "
+            << w.total_tasks() << " tasks\n\n";
+
+  sched::SlotScheduler fair;
+  sched::DrfScheduler drf;
+  const auto r_fair = bench::run_baseline(cfg, w, fair);
+  const auto r_drf = bench::run_baseline(cfg, w, drf);
+
+  struct Variant {
+    std::string label;
+    core::TetrisConfig tcfg;
+  };
+  // All variants run with the fairness and barrier knobs off so the
+  // ablation isolates the packing and SRTF heuristics themselves.
+  std::vector<Variant> variants;
+  {
+    Variant v;
+    v.label = "tetris (combined)";
+    v.tcfg.fairness_knob = 0;
+    v.tcfg.barrier_knob = 1.0;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "packing only (eps=0)";
+    v.tcfg.fairness_knob = 0;
+    v.tcfg.barrier_knob = 1.0;
+    v.tcfg.srtf_weight = 0;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "tetris cpu+mem only";
+    v.tcfg.fairness_knob = 0;
+    v.tcfg.barrier_knob = 1.0;
+    v.tcfg.only_cpu_mem = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "tetris + future lookahead (ext)";
+    v.tcfg.fairness_knob = 0;
+    v.tcfg.barrier_knob = 1.0;
+    v.tcfg.future_lookahead = 15;
+    variants.push_back(v);
+  }
+  {
+    Variant v;
+    v.label = "tetris + starvation resv (ext)";
+    v.tcfg.fairness_knob = 0;
+    v.tcfg.barrier_knob = 1.0;
+    v.tcfg.starvation_threshold = 60;
+    variants.push_back(v);
+  }
+
+  Table t({"variant", "JCT gain vs fair", "JCT gain vs drf",
+           "makespan gain vs fair", "makespan gain vs drf",
+           "mean task duration (s)"});
+  const auto add_row = [&](const std::string& label, const sim::SimResult& r) {
+    t.add_row({label,
+               format_double(analysis::avg_jct_reduction(r_fair, r), 1) + "%",
+               format_double(analysis::avg_jct_reduction(r_drf, r), 1) + "%",
+               format_double(analysis::makespan_reduction(r_fair, r), 1) + "%",
+               format_double(analysis::makespan_reduction(r_drf, r), 1) + "%",
+               format_double(analysis::mean_task_duration(r), 1)});
+  };
+
+  for (const auto& v : variants) {
+    const auto r = bench::run_tetris(cfg, w, v.tcfg);
+    bench::warn_if_incomplete(r);
+    add_row(v.label, r);
+  }
+  // SRTF-only is a separate scheduler (strict job order, no packing).
+  {
+    sched::SrtfScheduler srtf;
+    auto c = cfg;
+    const auto r = bench::run_baseline(c, w, srtf);
+    bench::warn_if_incomplete(r);
+    add_row("srtf only (no packing)", r);
+  }
+  add_row("fair scheduler (baseline)", r_fair);
+  add_row("drf (baseline)", r_drf);
+
+  std::cout << "§5.3.1 ablation (paper: combined beats either heuristic "
+               "alone; dropping disk/network awareness costs ~2/3 of the "
+               "gains; task durations shorten ~30% from avoided "
+               "over-allocation):\n"
+            << t.to_string();
+  return 0;
+}

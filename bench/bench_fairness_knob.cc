@@ -1,0 +1,86 @@
+// E13/E14/E15 — Figures 8 and 9, and the relative-integral-unfairness
+// metric of §5.3.2.
+//
+// Sweep the fairness knob f in {0, 0.25, 0.5, 0.75, ->1}:
+//   Fig. 8: gains in avg JCT and makespan vs the fair baselines — f around
+//           0.25 achieves nearly the best efficiency; even f -> 1 retains
+//           sizable gains (picking a well-aligned task within the fair
+//           job still packs well).
+//   Fig. 9: the unfairness cost — fraction of jobs slowed vs the fair
+//           schedulers and avg/max slowdown; f in [0.25, 0.5] slows only a
+//           few jobs by a little.
+//   §5.3.2: relative integral unfairness — Tetris's fairness violations
+//           are transient.
+#include <iostream>
+
+#include "bench/harness.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  // Batch arrival: a standing backlog of jobs is what makes the fairness
+  // restriction bind (with staggered arrivals few jobs contend at once);
+  // it is also the paper's makespan methodology (§5.3.1).
+  const sim::Workload w = bench::facebook_workload(scale, /*arrival=*/0);
+  sim::SimConfig cfg = bench::facebook_cluster(scale);
+  cfg.collect_fairness = true;
+  std::cout << "facebook trace (batch arrival): " << w.jobs.size()
+            << " jobs, " << w.total_tasks() << " tasks\n\n";
+
+  sched::SlotScheduler fair;
+  sched::DrfScheduler drf;
+  const auto r_fair = bench::run_baseline(cfg, w, fair);
+  const auto r_drf = bench::run_baseline(cfg, w, drf);
+
+  const double knobs[] = {0.0, 0.25, 0.5, 0.75, 0.95};
+  Table fig8({"f", "JCT gain vs fair", "JCT gain vs drf",
+              "makespan gain vs fair", "makespan gain vs drf"});
+  Table fig9({"f", "% slowed vs fair", "avg slowdown", "max slowdown",
+              "% slowed vs drf", "RIU: % jobs < fair", "RIU avg magnitude"});
+  std::string csv =
+      "f,jct_gain_fair,jct_gain_drf,mk_gain_fair,mk_gain_drf,"
+      "slowed_fair,slowed_drf\n";
+
+  for (double f : knobs) {
+    core::TetrisConfig tcfg;
+    tcfg.fairness_knob = f;
+    const auto r = bench::run_tetris(cfg, w, tcfg);
+    bench::warn_if_incomplete(r);
+
+    const double jg_fair = analysis::avg_jct_reduction(r_fair, r);
+    const double jg_drf = analysis::avg_jct_reduction(r_drf, r);
+    const double mg_fair = analysis::makespan_reduction(r_fair, r);
+    const double mg_drf = analysis::makespan_reduction(r_drf, r);
+    fig8.add_row({format_double(f, 2), format_double(jg_fair, 1) + "%",
+                  format_double(jg_drf, 1) + "%",
+                  format_double(mg_fair, 1) + "%",
+                  format_double(mg_drf, 1) + "%"});
+
+    const auto s_fair = analysis::slowdown_stats(r_fair, r);
+    const auto s_drf = analysis::slowdown_stats(r_drf, r);
+    const auto riu = analysis::unfairness_stats(r);
+    fig9.add_row({format_double(f, 2),
+                  format_percent(s_fair.fraction_slowed),
+                  format_double(s_fair.avg_slowdown_percent, 1) + "%",
+                  format_double(s_fair.max_slowdown_percent, 1) + "%",
+                  format_percent(s_drf.fraction_slowed),
+                  format_percent(riu.fraction_negative),
+                  format_double(riu.avg_negative_magnitude, 3)});
+    csv += format_double(f, 2) + "," + format_double(jg_fair, 2) + "," +
+           format_double(jg_drf, 2) + "," + format_double(mg_fair, 2) + "," +
+           format_double(mg_drf, 2) + "," +
+           format_double(100 * s_fair.fraction_slowed, 2) + "," +
+           format_double(100 * s_drf.fraction_slowed, 2) + "\n";
+  }
+
+  std::cout << "Figure 8 — efficiency vs fairness knob (paper: f~0.25 keeps "
+               "nearly all gains; even f->1 gains remain sizable):\n"
+            << fig8.to_string() << "\n";
+  std::cout << "Figure 9 + §5.3.2 RIU — unfairness cost (paper: f=0.25 slows "
+               "only a few % of jobs, by small amounts; RIU negative for few "
+               "jobs with small magnitude):\n"
+            << fig9.to_string();
+  write_file("bench_results/fig8_fig9_fairness_knob.csv", csv);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// E1 — Figure 1 / §2.1 motivating example.
+//
+// Three two-phase jobs on an 18-core / 36 GB / 3 Gbps cluster. The paper's
+// hand schedule: DRF finishes every job at 6t while a packing schedule
+// finishes them at 2t, 3t, 4t — average JCT 6t -> ~3t (50% better) and
+// makespan 6t -> 4t (33% better), with every single job faster.
+#include <iostream>
+
+#include "analysis/metrics.h"
+#include "bench/harness.h"
+#include "workload/motivating.h"
+
+using namespace tetris;
+
+int main() {
+  const auto ex = workload::make_motivating_example();
+  std::cout << "Figure 1 motivating example: 3 jobs, t = " << ex.t
+            << "s, cluster = 3 x (6 cores, 12 GB, 1 Gbps)\n\n";
+
+  // DRF here is the paper's extended variant that also tracks network —
+  // plain cpu+mem DRF does even worse (incast on the reduces).
+  sched::DrfSchedulerConfig drf_net_cfg;
+  drf_net_cfg.dims = {Resource::kCpu, Resource::kMem, Resource::kNetIn};
+  drf_net_cfg.name = "drf+network";
+  sched::DrfScheduler drf_net(drf_net_cfg);
+  sched::DrfScheduler drf_plain;
+
+  core::TetrisConfig tcfg;
+  tcfg.fairness_knob = 0;  // the example's packing schedule ignores fairness
+  tcfg.name = "packing (tetris f=0)";
+
+  const auto r_drf_net = bench::run_baseline(ex.config, ex.workload, drf_net);
+  const auto r_drf = bench::run_baseline(ex.config, ex.workload, drf_plain);
+  const auto r_pack = bench::run_tetris(ex.config, ex.workload, tcfg);
+
+  // The paper's hand schedule treats the cluster as one aggregated bin
+  // ("one big bag of resources"); reproduce that view too, where packing
+  // reaches the clean 2t/3t/4t schedule.
+  const auto agg_cfg = sched::aggregate_config(ex.config);
+  const auto agg_w = sched::aggregate_workload(ex.workload);
+  sched::DrfSchedulerConfig drf_agg_cfg = drf_net_cfg;
+  drf_agg_cfg.name = "drf+network (one big bin)";
+  sched::DrfScheduler drf_agg(drf_agg_cfg);
+  const auto r_drf_agg = bench::run_baseline(agg_cfg, agg_w, drf_agg);
+  core::TetrisConfig agg_tcfg = tcfg;
+  agg_tcfg.name = "packing (one big bin)";
+  core::TetrisScheduler pack_agg(agg_tcfg);
+  auto agg_cfg2 = agg_cfg;
+  const auto r_pack_agg = sim::simulate(agg_cfg2, agg_w, pack_agg);
+
+  Table t({"schedule", "makespan", "makespan (t)", "avg JCT", "avg JCT (t)",
+           "job finish times (t)"});
+  for (const auto* r :
+       {&r_drf, &r_drf_net, &r_pack, &r_drf_agg, &r_pack_agg}) {
+    bench::warn_if_incomplete(*r);
+    std::string finishes;
+    for (const auto& j : r->jobs) {
+      if (!finishes.empty()) finishes += ", ";
+      finishes += j.name + "=" + format_double(j.finish / ex.t, 2);
+    }
+    t.add_row({r->scheduler_name, format_double(r->makespan, 1),
+               format_double(r->makespan / ex.t, 2),
+               format_double(r->avg_jct(), 1),
+               format_double(r->avg_jct() / ex.t, 2), finishes});
+  }
+  std::cout << t.to_string() << "\n";
+
+  std::cout << "packing vs plain drf:   makespan reduction = "
+            << format_percent(analysis::makespan_reduction(r_drf, r_pack) /
+                              100.0)
+            << ", avg JCT reduction = "
+            << format_percent(analysis::avg_jct_reduction(r_drf, r_pack) /
+                              100.0)
+            << "\n";
+  std::cout << "packing vs drf+network: makespan reduction = "
+            << format_percent(
+                   analysis::makespan_reduction(r_drf_net, r_pack) / 100.0)
+            << ", avg JCT reduction = "
+            << format_percent(
+                   analysis::avg_jct_reduction(r_drf_net, r_pack) / 100.0)
+            << "\n";
+  std::cout
+      << "paper reference: makespan 6t -> 4t (33%), avg JCT 6t -> ~3t "
+         "(50%), every job faster.\n"
+         "note: the paper's Figure 1b hand schedule runs job A first; the\n"
+         "alignment score genuinely prefers B/C's chunkier map tasks\n"
+         "(0.58 vs 0.33 dot product), so Tetris realizes a different\n"
+         "permutation of the same packing idea — slightly better average\n"
+         "JCT, one t worse makespan than the hand schedule.\n";
+  return 0;
+}

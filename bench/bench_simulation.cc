@@ -1,0 +1,71 @@
+// E11 — Figure 7 (trace-driven simulation at Facebook scale).
+//
+// CDF of per-job completion-time improvement of Tetris over the
+// slot-based fair scheduler and DRF on the Facebook-like trace, plus the
+// same comparison for the §2.2.3 upper bound. Paper: ~40% median gains,
+// top decile >50%, Tetris within ~96% of the simple upper bound, <4% of
+// jobs slowed by <25%.
+#include <iostream>
+
+#include "bench/harness.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  const sim::Workload w = bench::facebook_workload(scale);
+  const sim::SimConfig cfg = bench::facebook_cluster(scale);
+  std::cout << "facebook trace: " << w.jobs.size() << " jobs, "
+            << w.total_tasks() << " tasks on " << scale.machines
+            << " machines\n\n";
+
+  sched::SlotScheduler fair;
+  sched::DrfScheduler drf;
+  const auto r_fair = bench::run_baseline(cfg, w, fair);
+  const auto r_drf = bench::run_baseline(cfg, w, drf);
+  const auto r_tetris = bench::run_tetris(cfg, w);
+  const auto r_ub = bench::run_upper_bound(cfg, w);
+  for (const auto* r : {&r_fair, &r_drf, &r_tetris, &r_ub})
+    bench::warn_if_incomplete(*r);
+
+  const auto imp_fair = analysis::per_job_improvements(r_fair, r_tetris);
+  const auto imp_drf = analysis::per_job_improvements(r_drf, r_tetris);
+  const auto ub_fair = analysis::per_job_improvements(r_fair, r_ub);
+  const auto ub_drf = analysis::per_job_improvements(r_drf, r_ub);
+  bench::print_improvement_cdf("Figure 7 — Tetris vs fair scheduler:",
+                               imp_fair);
+  bench::print_improvement_cdf("Figure 7 — Tetris vs DRF:", imp_drf);
+  bench::print_improvement_cdf("Figure 7 — upper bound vs fair scheduler:",
+                               ub_fair);
+  write_file("bench_results/fig7_cdf_tetris_vs_fair.csv",
+             bench::cdf_csv(imp_fair));
+  write_file("bench_results/fig7_cdf_tetris_vs_drf.csv",
+             bench::cdf_csv(imp_drf));
+  write_file("bench_results/fig7_cdf_ub_vs_fair.csv", bench::cdf_csv(ub_fair));
+  write_file("bench_results/fig7_cdf_ub_vs_drf.csv", bench::cdf_csv(ub_drf));
+
+  Table t({"metric", "vs fair", "vs drf"});
+  t.add_row({"avg JCT reduction",
+             format_percent(analysis::avg_jct_reduction(r_fair, r_tetris) / 100.0),
+             format_percent(analysis::avg_jct_reduction(r_drf, r_tetris) / 100.0)});
+  t.add_row({"makespan reduction",
+             format_percent(analysis::makespan_reduction(r_fair, r_tetris) / 100.0),
+             format_percent(analysis::makespan_reduction(r_drf, r_tetris) / 100.0)});
+  t.add_row({"upper-bound avg JCT reduction",
+             format_percent(analysis::avg_jct_reduction(r_fair, r_ub) / 100.0),
+             format_percent(analysis::avg_jct_reduction(r_drf, r_ub) / 100.0)});
+  std::cout << t.to_string() << "\n";
+
+  const auto slow_fair = analysis::slowdown_stats(r_fair, r_tetris);
+  const auto slow_drf = analysis::slowdown_stats(r_drf, r_tetris);
+  std::cout << "jobs slowed vs fair: " << format_percent(slow_fair.fraction_slowed)
+            << " (avg " << format_double(slow_fair.avg_slowdown_percent, 1)
+            << "%, max " << format_double(slow_fair.max_slowdown_percent, 1)
+            << "%)\n";
+  std::cout << "jobs slowed vs drf:  " << format_percent(slow_drf.fraction_slowed)
+            << " (avg " << format_double(slow_drf.avg_slowdown_percent, 1)
+            << "%, max " << format_double(slow_drf.max_slowdown_percent, 1)
+            << "%)\n";
+  std::cout << "(paper: <4% of jobs slow down, each by <25%)\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// E2/E3/E4 — Tables 2 and 3, Figure 2 (paper §2.2).
+//
+// Table 2: task demands across resources are essentially uncorrelated.
+// Table 3: multiple resources become "tight" (usage above a fraction of
+//          capacity), at different machines and times, under the incumbent
+//          slot-based fair scheduler.
+// Figure 2: heatmaps of task demands — orders-of-magnitude diversity.
+#include <iostream>
+
+#include "analysis/workload_analysis.h"
+#include "bench/harness.h"
+#include "sched/slot_scheduler.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::from_args(argc, argv);
+  const sim::Workload w = bench::facebook_workload(scale);
+  const auto samples = analysis::collect_demand_samples(w);
+  std::cout << "Facebook-like trace: " << w.jobs.size() << " jobs, "
+            << samples.size() << " tasks\n\n";
+
+  // --- §2.2.2 coefficient of variation (paper: 1.52, 1.6, 2.6, 1.9) ---
+  const auto covs = analysis::demand_covs(samples);
+  Table cov_t({"attribute", "coefficient of variation", "paper"});
+  const char* names[] = {"cores", "memory", "disk", "network"};
+  const char* paper_cov[] = {"1.52", "1.60", "2.60", "1.90"};
+  for (int i = 0; i < 4; ++i) {
+    cov_t.add_row({names[i], format_double(covs[static_cast<std::size_t>(i)], 2),
+                   paper_cov[i]});
+  }
+  std::cout << "Demand diversity (cf. §2.2.2):\n" << cov_t.to_string() << "\n";
+
+  // --- Table 2: correlation matrix ---
+  const auto corr = analysis::demand_correlations(samples);
+  Table corr_t({"", "cores", "memory", "disk", "network"});
+  for (int i = 0; i < 4; ++i) {
+    std::vector<std::string> row = {names[i]};
+    for (int j = 0; j < 4; ++j) {
+      row.push_back(j <= i ? "-"
+                           : format_double(corr[static_cast<std::size_t>(i)]
+                                               [static_cast<std::size_t>(j)],
+                                           2));
+    }
+    corr_t.add_row(row);
+  }
+  std::cout << "Table 2 — correlation of task resource demands (paper: all "
+               "within [-0.12, 0.3]):\n"
+            << corr_t.to_string() << "\n";
+
+  // --- Figure 2: demand heatmaps (written as CSV for plotting) ---
+  const char* heat_names[] = {"mem", "disk", "net"};
+  for (int a = 0; a < 3; ++a) {
+    const auto h = analysis::demand_heatmap(samples, a);
+    const std::string path = std::string("bench_results/fig2_heatmap_cores_") +
+                             heat_names[a] + ".csv";
+    write_file(path, h.to_csv());
+    std::cout << "Figure 2 heatmap (cores vs " << heat_names[a] << "): "
+              << h.total() << " tasks binned -> " << path << "\n";
+  }
+  std::cout << "\n";
+
+  // --- Table 3: resource tightness under the incumbent scheduler ---
+  sim::SimConfig cfg = bench::facebook_cluster(scale);
+  cfg.collect_timeline = true;
+  cfg.timeline_period = 5.0;
+  sched::SlotScheduler slot;
+  const auto r = bench::run_baseline(cfg, w, slot);
+  bench::warn_if_incomplete(r);
+
+  Table tight({"resource", "P(>60% used)", "P(>80% used)", "P(>95% used)"});
+  const auto t60 = analysis::tightness(r, 0.60);
+  const auto t80 = analysis::tightness(r, 0.80);
+  const auto t95 = analysis::tightness(r, 0.95);
+  for (Resource res : all_resources()) {
+    const auto i = static_cast<std::size_t>(res);
+    tight.add_row({std::string(resource_name(res)), format_double(t60[i], 3),
+                   format_double(t80[i], 3), format_double(t95[i], 3)});
+  }
+  std::cout << "Table 3 — tightness of resources under slot-based fair "
+               "scheduling:\n"
+            << tight.to_string();
+  std::cout << "(paper: several resources tight at different times; no "
+               "single resource dominates)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Interactive view of the paper's fairness/performance trade-off (§3.4):
+// sweep the knob f on one workload and watch gains and slowdowns move.
+//
+//   ./examples/fairness_tradeoff [jobs] [machines] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/metrics.h"
+#include "core/tetris_scheduler.h"
+#include "sched/slot_scheduler.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workload/profiles.h"
+#include "workload/suite.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 50;
+  const int num_machines = argc > 2 ? std::atoi(argv[2]) : 16;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  workload::SuiteConfig wcfg;
+  wcfg.num_jobs = num_jobs;
+  wcfg.num_machines = num_machines;
+  wcfg.task_scale = 0.08;
+  wcfg.arrival_window = 0;  // a standing backlog makes fairness bind
+  wcfg.seed = seed;
+  const auto w = workload::make_suite_workload(wcfg);
+
+  sim::SimConfig cfg;
+  cfg.num_machines = num_machines;
+  cfg.machine_capacity = workload::facebook_machine();
+  cfg.collect_fairness = true;
+
+  sched::SlotScheduler fair;
+  const auto r_fair = sim::simulate(cfg, w, fair);
+  std::cout << "workload: " << w.jobs.size() << " jobs, " << w.total_tasks()
+            << " tasks (batch arrival); fair-scheduler makespan = "
+            << format_double(r_fair.makespan, 0)
+            << "s, avg JCT = " << format_double(r_fair.avg_jct(), 0)
+            << "s\n\n";
+
+  Table t({"fairness knob f", "makespan gain", "avg JCT gain", "% jobs slowed",
+           "max slowdown"});
+  for (double f : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9}) {
+    core::TetrisConfig tcfg;
+    tcfg.fairness_knob = f;
+    core::TetrisScheduler tetris(tcfg);
+    auto run_cfg = cfg;
+    run_cfg.tracker = sim::TrackerMode::kUsage;
+    const auto r = sim::simulate(run_cfg, w, tetris);
+    const auto slow = analysis::slowdown_stats(r_fair, r);
+    t.add_row(
+        {format_double(f, 2),
+         format_double(analysis::makespan_reduction(r_fair, r), 1) + "%",
+         format_double(analysis::avg_jct_reduction(r_fair, r), 1) + "%",
+         format_percent(slow.fraction_slowed),
+         format_double(slow.max_slowdown_percent, 1) + "%"});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nf = 0 is the most efficient (and least fair) schedule; "
+               "f -> 1 approaches the fair scheduler. The paper's operating "
+               "point is f = 0.25.\n";
+  return 0;
+}

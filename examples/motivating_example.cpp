@@ -1,0 +1,73 @@
+// The paper's §2.1 / Figure 1 walk-through: three two-phase jobs on an
+// 18-core / 36 GB / 3 Gbps cluster, scheduled by DRF and by a packing
+// scheduler. Prints the task-level schedule so the packing structure is
+// visible, not just the aggregate numbers.
+#include <algorithm>
+#include <iostream>
+#include <map>
+
+#include "core/tetris_scheduler.h"
+#include "sched/drf_scheduler.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workload/motivating.h"
+
+using namespace tetris;
+
+namespace {
+
+void print_schedule(const sim::SimResult& r, double t_unit) {
+  std::cout << "--- " << r.scheduler_name << " ---\n";
+  // Bucket task starts into t-unit intervals per job and stage.
+  std::map<std::pair<int, int>, std::map<int, int>> waves;
+  for (const auto& task : r.tasks) {
+    const int wave = static_cast<int>(task.start / t_unit + 0.25);
+    waves[{task.job, task.stage}][wave]++;
+  }
+  Table table({"job", "stage", "tasks started per t-interval"});
+  const char* names[] = {"A", "B", "C"};
+  const char* stages[] = {"map", "reduce"};
+  for (const auto& [key, by_wave] : waves) {
+    std::string cells;
+    for (const auto& [wave, count] : by_wave) {
+      if (!cells.empty()) cells += ", ";
+      cells += "t" + std::to_string(wave) + ":" + std::to_string(count);
+    }
+    table.add_row({names[key.first], stages[key.second], cells});
+  }
+  std::cout << table.to_string();
+  std::cout << "makespan = " << format_double(r.makespan / t_unit, 2)
+            << "t, avg JCT = " << format_double(r.avg_jct() / t_unit, 2)
+            << "t\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto ex = workload::make_motivating_example();
+  std::cout << "Motivating example (paper §2.1): jobs A (18 maps of 1 core/"
+               "2 GB), B and C (6 maps of 3 cores/1 GB each); every job has "
+               "3 network-bound reduces.\nCluster: 3 machines x (6 cores, "
+               "12 GB, 1 Gbps). t = "
+            << ex.t << "s.\n\n";
+
+  sched::DrfScheduler drf;
+  auto drf_cfg = ex.config;
+  const auto r_drf = sim::simulate(drf_cfg, ex.workload, drf);
+  print_schedule(r_drf, ex.t);
+
+  core::TetrisConfig tcfg;
+  tcfg.fairness_knob = 0;
+  tcfg.name = "tetris-packing";
+  core::TetrisScheduler tetris(tcfg);
+  auto tetris_cfg = ex.config;
+  tetris_cfg.tracker = sim::TrackerMode::kUsage;
+  const auto r_tetris = sim::simulate(tetris_cfg, ex.workload, tetris);
+  print_schedule(r_tetris, ex.t);
+
+  std::cout << "Packing exploits complementary demands (compute-bound maps "
+               "with network-bound reduces) and avoids the fragmentation "
+               "that slot/DRF allocation causes — every job finishes no "
+               "later, most finish much earlier.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Quickstart: generate a workload, run it under the slot-based fair
+// scheduler, DRF and Tetris on a simulated cluster, and compare makespan
+// and job completion times.
+//
+//   ./examples/quickstart [num_jobs] [num_machines] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/metrics.h"
+#include "core/tetris_scheduler.h"
+#include "sched/drf_scheduler.h"
+#include "sched/slot_scheduler.h"
+#include "sim/simulator.h"
+#include "util/table.h"
+#include "workload/profiles.h"
+#include "workload/suite.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  const int num_jobs = argc > 1 ? std::atoi(argv[1]) : 60;
+  const int num_machines = argc > 2 ? std::atoi(argv[2]) : 20;
+  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1;
+
+  // A scaled-down version of the paper's §5.1 workload suite.
+  workload::SuiteConfig wcfg;
+  wcfg.num_jobs = num_jobs;
+  wcfg.num_machines = num_machines;
+  wcfg.task_scale = 0.1;
+  wcfg.arrival_window = 600;
+  wcfg.seed = seed;
+  const sim::Workload w = workload::make_suite_workload(wcfg);
+  std::cout << "workload: " << w.jobs.size() << " jobs, " << w.total_tasks()
+            << " tasks on " << num_machines << " machines\n\n";
+
+  sim::SimConfig cfg;
+  cfg.num_machines = num_machines;
+  cfg.machine_capacity = workload::facebook_machine();
+  cfg.seed = seed;
+
+  const auto run = [&](sim::Scheduler& s) {
+    const sim::SimResult r = sim::simulate(cfg, w, s);
+    if (!r.completed) {
+      std::cerr << "warning: " << s.name() << " did not drain the workload\n";
+    }
+    return r;
+  };
+
+  sched::SlotScheduler slot;
+  sched::DrfScheduler drf;
+  core::TetrisScheduler tetris;
+
+  const auto r_slot = run(slot);
+  const auto r_drf = run(drf);
+
+  // Tetris sees the machines through the usage-based tracker.
+  cfg.tracker = sim::TrackerMode::kUsage;
+  const auto r_tetris = run(tetris);
+
+  Table t({"scheduler", "makespan (s)", "avg JCT (s)", "median JCT (s)"});
+  for (const auto* r : {&r_slot, &r_drf, &r_tetris}) {
+    t.add_row({r->scheduler_name, format_double(r->makespan, 1),
+               format_double(r->avg_jct(), 1),
+               format_double(r->median_jct(), 1)});
+  }
+  std::cout << t.to_string() << "\n";
+
+  Table g({"comparison", "makespan reduction", "avg JCT reduction"});
+  g.add_row({"tetris vs slot-fair",
+             format_percent(
+                 analysis::makespan_reduction(r_slot, r_tetris) / 100.0),
+             format_percent(
+                 analysis::avg_jct_reduction(r_slot, r_tetris) / 100.0)});
+  g.add_row(
+      {"tetris vs drf",
+       format_percent(analysis::makespan_reduction(r_drf, r_tetris) / 100.0),
+       format_percent(analysis::avg_jct_reduction(r_drf, r_tetris) / 100.0)});
+  std::cout << g.to_string();
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "analysis/export.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace tetris::analysis {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  return out + "\"";
+}
+
+}  // namespace
+
+std::string jobs_csv(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "job,name,template,arrival,finish,jct,tasks,unfairness_integral\n";
+  for (const auto& j : result.jobs) {
+    os << j.id << "," << escape(j.name) << "," << j.template_id << ","
+       << j.arrival << "," << j.finish << ","
+       << (j.finish >= 0 ? j.completion_time() : -1.0) << "," << j.total_tasks
+       << "," << j.unfairness_integral << "\n";
+  }
+  return os.str();
+}
+
+std::string tasks_csv(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "job,stage,index,host,start,finish,duration,natural_duration,"
+        "attempts,local_fraction\n";
+  for (const auto& t : result.tasks) {
+    os << t.job << "," << t.stage << "," << t.index << "," << t.host << ","
+       << t.start << "," << t.finish << "," << t.duration() << ","
+       << t.natural_duration << "," << t.attempts << "," << t.local_fraction
+       << "\n";
+  }
+  return os.str();
+}
+
+std::string timeline_csv(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "time,running";
+  for (Resource r : all_resources()) os << "," << resource_name(r);
+  os << "\n";
+  for (const auto& s : result.timeline) {
+    os << s.time << "," << s.running_tasks;
+    for (double u : s.utilization) os << "," << u;
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool export_result(const std::string& prefix, const sim::SimResult& result) {
+  return write_file(prefix + "_jobs.csv", jobs_csv(result)) &&
+         write_file(prefix + "_tasks.csv", tasks_csv(result)) &&
+         write_file(prefix + "_timeline.csv", timeline_csv(result));
+}
+
+}  // namespace tetris::analysis

@@ -1,0 +1,27 @@
+// CSV export of simulation results, so runs can be analyzed with external
+// tooling (pandas, gnuplot) without rerunning the simulator.
+#pragma once
+
+#include <string>
+
+#include "sim/result.h"
+
+namespace tetris::analysis {
+
+// One row per job: id, name, template, arrival, finish, jct, tasks,
+// unfairness integral.
+std::string jobs_csv(const sim::SimResult& result);
+
+// One row per task: job, stage, index, host, start, finish, duration,
+// natural duration, attempts, local fraction.
+std::string tasks_csv(const sim::SimResult& result);
+
+// One row per timeline sample: time, running tasks, per-resource cluster
+// utilization.
+std::string timeline_csv(const sim::SimResult& result);
+
+// Writes all three next to each other: <prefix>_jobs.csv, _tasks.csv,
+// _timeline.csv. Returns false if any write failed.
+bool export_result(const std::string& prefix, const sim::SimResult& result);
+
+}  // namespace tetris::analysis

@@ -1,0 +1,111 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/stats.h"
+
+namespace tetris::analysis {
+
+double improvement_percent(double baseline, double treatment) {
+  if (baseline <= 0) return 0;
+  return 100.0 * (baseline - treatment) / baseline;
+}
+
+namespace {
+
+// job id -> completion time for finished jobs.
+std::unordered_map<sim::JobId, double> jct_by_id(const sim::SimResult& r) {
+  std::unordered_map<sim::JobId, double> out;
+  out.reserve(r.jobs.size());
+  for (const auto& job : r.jobs) {
+    if (job.finish >= 0) out.emplace(job.id, job.completion_time());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> per_job_improvements(const sim::SimResult& baseline,
+                                         const sim::SimResult& treatment) {
+  const auto base = jct_by_id(baseline);
+  const auto treat = jct_by_id(treatment);
+  std::vector<double> out;
+  out.reserve(base.size());
+  for (const auto& job : baseline.jobs) {
+    const auto b = base.find(job.id);
+    const auto t = treat.find(job.id);
+    if (b == base.end() || t == treat.end()) continue;
+    out.push_back(improvement_percent(b->second, t->second));
+  }
+  return out;
+}
+
+double makespan_reduction(const sim::SimResult& baseline,
+                          const sim::SimResult& treatment) {
+  return improvement_percent(baseline.makespan, treatment.makespan);
+}
+
+double avg_jct_reduction(const sim::SimResult& baseline,
+                         const sim::SimResult& treatment) {
+  return improvement_percent(baseline.avg_jct(), treatment.avg_jct());
+}
+
+double median_jct_reduction(const sim::SimResult& baseline,
+                            const sim::SimResult& treatment) {
+  return improvement_percent(baseline.median_jct(), treatment.median_jct());
+}
+
+SlowdownStats slowdown_stats(const sim::SimResult& fair_baseline,
+                             const sim::SimResult& treatment,
+                             double tolerance) {
+  const auto base = jct_by_id(fair_baseline);
+  const auto treat = jct_by_id(treatment);
+  SlowdownStats stats;
+  std::vector<double> slowdowns;
+  for (const auto& [id, b] : base) {
+    const auto t = treat.find(id);
+    if (t == treat.end() || b <= 0) continue;
+    stats.jobs_compared++;
+    const double rel = (t->second - b) / b;
+    if (rel > tolerance) slowdowns.push_back(100.0 * rel);
+  }
+  if (stats.jobs_compared == 0) return stats;
+  stats.fraction_slowed = static_cast<double>(slowdowns.size()) /
+                          static_cast<double>(stats.jobs_compared);
+  if (!slowdowns.empty()) {
+    stats.avg_slowdown_percent = mean(slowdowns);
+    stats.max_slowdown_percent =
+        *std::max_element(slowdowns.begin(), slowdowns.end());
+  }
+  return stats;
+}
+
+UnfairnessStats unfairness_stats(const sim::SimResult& result,
+                                 double tolerance) {
+  UnfairnessStats stats;
+  if (result.jobs.empty()) return stats;
+  std::vector<double> negatives;
+  for (const auto& job : result.jobs) {
+    if (job.finish < 0) continue;
+    // Normalize the integral by the job's lifetime so long and short jobs
+    // are comparable.
+    const double life = std::max(1e-9, job.completion_time());
+    const double riu = job.unfairness_integral / life;
+    if (riu < -tolerance) negatives.push_back(-riu);
+  }
+  stats.fraction_negative = static_cast<double>(negatives.size()) /
+                            static_cast<double>(result.jobs.size());
+  if (!negatives.empty()) stats.avg_negative_magnitude = mean(negatives);
+  return stats;
+}
+
+double mean_task_duration(const sim::SimResult& result) {
+  std::vector<double> durations;
+  durations.reserve(result.tasks.size());
+  for (const auto& t : result.tasks) durations.push_back(t.duration());
+  return mean(durations);
+}
+
+}  // namespace tetris::analysis

@@ -1,0 +1,56 @@
+// Comparison metrics between scheduler runs: per-job completion-time
+// improvements (Figs. 4, 7), makespan reductions, slowdown-due-to-
+// unfairness statistics (Fig. 9) and the relative-integral-unfairness
+// summary (§5.3.2). All comparisons match jobs by id across runs of the
+// *same* workload under different schedulers.
+#pragma once
+
+#include <vector>
+
+#include "sim/result.h"
+
+namespace tetris::analysis {
+
+// 100 * (baseline - treatment) / baseline: the paper's improvement metric
+// ("20% improvement means Tetris is 1.25x better").
+double improvement_percent(double baseline, double treatment);
+
+// Per-job completion-time improvement of `treatment` over `baseline`,
+// ordered by job id. Jobs unfinished in either run are skipped.
+std::vector<double> per_job_improvements(const sim::SimResult& baseline,
+                                         const sim::SimResult& treatment);
+
+double makespan_reduction(const sim::SimResult& baseline,
+                          const sim::SimResult& treatment);
+double avg_jct_reduction(const sim::SimResult& baseline,
+                         const sim::SimResult& treatment);
+double median_jct_reduction(const sim::SimResult& baseline,
+                            const sim::SimResult& treatment);
+
+// Slowdown analysis (Fig. 9): how many jobs got *worse* under the
+// treatment than under the fair baseline, and by how much.
+struct SlowdownStats {
+  double fraction_slowed = 0;  // jobs with JCT above baseline by > tolerance
+  double avg_slowdown_percent = 0;  // mean % increase among slowed jobs
+  double max_slowdown_percent = 0;
+  int jobs_compared = 0;
+};
+SlowdownStats slowdown_stats(const sim::SimResult& fair_baseline,
+                             const sim::SimResult& treatment,
+                             double tolerance = 0.02);
+
+// Relative integral unfairness summary (§5.3.2): fraction of jobs whose
+// integral is below -tolerance (served worse than fair share over their
+// lifetime) and the mean magnitude among them.
+struct UnfairnessStats {
+  double fraction_negative = 0;
+  double avg_negative_magnitude = 0;
+};
+UnfairnessStats unfairness_stats(const sim::SimResult& result,
+                                 double tolerance = 0.02);
+
+// Mean task duration (successful attempts), for the "task durations
+// improve by about 30%" observation of §5.3.1.
+double mean_task_duration(const sim::SimResult& result);
+
+}  // namespace tetris::analysis

@@ -1,0 +1,108 @@
+#include "analysis/workload_analysis.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tetris::analysis {
+
+std::vector<TaskDemandSample> collect_demand_samples(
+    const sim::Workload& workload) {
+  std::vector<TaskDemandSample> out;
+  for (const auto& job : workload.jobs) {
+    for (const auto& stage : job.stages) {
+      for (const auto& task : stage.tasks) {
+        TaskDemandSample s;
+        s.cores = task.peak_cores;
+        s.mem = task.peak_mem;
+        s.disk_bytes = task.output_bytes;
+        for (const auto& split : task.inputs) {
+          if (split.from_stage >= 0) {
+            // Shuffle input crosses machines.
+            s.net_bytes += split.bytes;
+          } else if (!split.replicas.empty()) {
+            s.disk_bytes += split.bytes;
+          }
+        }
+        out.push_back(s);
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::array<std::vector<double>, 4> columns(
+    const std::vector<TaskDemandSample>& samples) {
+  std::array<std::vector<double>, 4> cols;
+  for (auto& c : cols) c.reserve(samples.size());
+  for (const auto& s : samples) {
+    cols[0].push_back(s.cores);
+    cols[1].push_back(s.mem);
+    cols[2].push_back(s.disk_bytes);
+    cols[3].push_back(s.net_bytes);
+  }
+  return cols;
+}
+
+}  // namespace
+
+CorrelationMatrix demand_correlations(
+    const std::vector<TaskDemandSample>& samples) {
+  const auto cols = columns(samples);
+  CorrelationMatrix m{};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      m[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          i == j ? 1.0 : pearson_correlation(cols[static_cast<std::size_t>(i)],
+                                             cols[static_cast<std::size_t>(j)]);
+    }
+  }
+  return m;
+}
+
+std::array<double, 4> demand_covs(
+    const std::vector<TaskDemandSample>& samples) {
+  const auto cols = columns(samples);
+  std::array<double, 4> out{};
+  for (std::size_t i = 0; i < 4; ++i) out[i] = summarize(cols[i]).cov;
+  return out;
+}
+
+std::array<double, kNumResources> tightness(const sim::SimResult& result,
+                                            double threshold) {
+  std::array<double, kNumResources> out{};
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    out[i] = fraction_above(result.machine_usage_samples[i], threshold);
+  }
+  return out;
+}
+
+Histogram2D demand_heatmap(const std::vector<TaskDemandSample>& samples,
+                           int attribute, std::size_t bins) {
+  if (attribute < 0 || attribute > 2)
+    throw std::invalid_argument("heatmap attribute must be 0, 1 or 2");
+  double max_cores = 0, max_attr = 0;
+  const auto pick = [attribute](const TaskDemandSample& s) {
+    switch (attribute) {
+      case 0:
+        return s.mem;
+      case 1:
+        return s.disk_bytes;
+      default:
+        return s.net_bytes;
+    }
+  };
+  for (const auto& s : samples) {
+    max_cores = std::max(max_cores, s.cores);
+    max_attr = std::max(max_attr, pick(s));
+  }
+  Histogram2D h(bins, bins);
+  if (max_cores <= 0 || max_attr <= 0) return h;
+  for (const auto& s : samples) {
+    h.add(s.cores / max_cores, pick(s) / max_attr);
+  }
+  return h;
+}
+
+}  // namespace tetris::analysis

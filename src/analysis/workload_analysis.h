@@ -1,0 +1,48 @@
+// Workload-facing analyses (paper §2.2): the correlation matrix of task
+// resource demands (Table 2), resource-tightness probabilities (Tables 3
+// and 6) and the demand heatmaps of Figure 2.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sim/result.h"
+#include "sim/spec.h"
+#include "util/stats.h"
+
+namespace tetris::analysis {
+
+// One row per task: the demand attributes the paper's Table 2 correlates.
+struct TaskDemandSample {
+  double cores = 0;
+  double mem = 0;
+  double disk_bytes = 0;  // input read + output written
+  double net_bytes = 0;   // shuffle bytes (cross-machine by construction)
+};
+
+std::vector<TaskDemandSample> collect_demand_samples(
+    const sim::Workload& workload);
+
+// Pearson correlation matrix over {cores, mem, disk, net}, indexed
+// [i][j] with i,j in that order (Table 2).
+using CorrelationMatrix = std::array<std::array<double, 4>, 4>;
+CorrelationMatrix demand_correlations(
+    const std::vector<TaskDemandSample>& samples);
+
+// Coefficient of variation per attribute, in the same order (§2.2.2
+// quotes 1.52, 1.6, 2.6, 1.9 for cpu/mem/disk/net).
+std::array<double, 4> demand_covs(
+    const std::vector<TaskDemandSample>& samples);
+
+// P(machine-level usage of resource r > threshold), from the usage samples
+// a simulation collected (Tables 3 and 6).
+std::array<double, kNumResources> tightness(
+    const sim::SimResult& result, double threshold);
+
+// 2-D histogram of (cores, other-attribute) pairs normalized to [0,1] by
+// the given maxima — the Figure 2 heatmaps. attribute: 0=mem, 1=disk,
+// 2=net.
+Histogram2D demand_heatmap(const std::vector<TaskDemandSample>& samples,
+                           int attribute, std::size_t bins = 20);
+
+}  // namespace tetris::analysis

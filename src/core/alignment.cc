@@ -1,0 +1,62 @@
+#include "core/alignment.h"
+
+#include <algorithm>
+
+namespace tetris::core {
+
+std::string_view alignment_name(AlignmentKind kind) {
+  switch (kind) {
+    case AlignmentKind::kCosine:
+      return "cosine";
+    case AlignmentKind::kL2NormDiff:
+      return "l2-norm-diff";
+    case AlignmentKind::kL2NormRatio:
+      return "l2-norm-ratio";
+    case AlignmentKind::kFfdProd:
+      return "ffd-prod";
+    case AlignmentKind::kFfdSum:
+      return "ffd-sum";
+  }
+  return "?";
+}
+
+double alignment_score(AlignmentKind kind, const Resources& demand_norm,
+                       const Resources& avail_norm) {
+  switch (kind) {
+    case AlignmentKind::kCosine:
+      return demand_norm.dot(avail_norm);
+    case AlignmentKind::kL2NormDiff: {
+      const Resources diff = demand_norm - avail_norm;
+      return -diff.dot(diff);
+    }
+    case AlignmentKind::kL2NormRatio: {
+      double s = 0;
+      for (Resource r : all_resources()) {
+        const double d = demand_norm[r];
+        if (d <= 0) continue;
+        // Admission ran first, so avail >= demand; the floor only guards
+        // against degenerate zero-capacity dimensions.
+        const double a = std::max(avail_norm[r], 1e-9);
+        const double ratio = d / a;
+        s += ratio * ratio;
+      }
+      return -s;
+    }
+    case AlignmentKind::kFfdProd: {
+      double p = 1;
+      bool any = false;
+      for (Resource r : all_resources()) {
+        if (demand_norm[r] > 0) {
+          p *= demand_norm[r];
+          any = true;
+        }
+      }
+      return any ? p : 0;
+    }
+    case AlignmentKind::kFfdSum:
+      return demand_norm.sum();
+  }
+  return 0;
+}
+
+}  // namespace tetris::core

@@ -1,0 +1,32 @@
+// Alignment scorers (paper §3.2 and Table 7).
+//
+// Given a task's demand vector and a machine's available-resource vector —
+// both normalized by the machine's capacity so numerical ranges cancel —
+// an alignment scorer says how well the task "fits the shape" of the
+// machine's free resources. Tetris uses the weighted dot product (called
+// cosine similarity in the paper); the alternatives it was benchmarked
+// against in Table 7 are provided for the reproduction of that table.
+#pragma once
+
+#include <string_view>
+
+#include "util/resources.h"
+
+namespace tetris::core {
+
+enum class AlignmentKind {
+  kCosine,       // sum_i a_i * d_i          (higher = better packing)
+  kL2NormDiff,   // -sum_i (d_i - a_i)^2     (penalize leftover + misfit)
+  kL2NormRatio,  // -sum_i (d_i / a_i)^2     (penalize eating scarce dims)
+  kFfdProd,      // prod_{d_i>0} d_i         (biggest task first, no machine)
+  kFfdSum,       // sum_i d_i                (biggest task first, no machine)
+};
+
+std::string_view alignment_name(AlignmentKind kind);
+
+// Both vectors must be normalized by the machine's capacity. Higher is
+// better for every kind (the norm-based scores are negated).
+double alignment_score(AlignmentKind kind, const Resources& demand_norm,
+                       const Resources& avail_norm);
+
+}  // namespace tetris::core

@@ -1,0 +1,65 @@
+#include "core/demand_estimator.h"
+
+#include <stdexcept>
+
+namespace tetris::core {
+
+DemandEstimator::DemandEstimator(EstimatorConfig config) : config_(config) {
+  if (config_.overestimate_factor < 1.0)
+    throw std::invalid_argument(
+        "overestimate_factor below 1 under-estimates, the unsafe direction");
+  if (config_.min_samples < 1)
+    throw std::invalid_argument("min_samples must be >= 1");
+  if (config_.headroom_stdevs < 0)
+    throw std::invalid_argument("headroom_stdevs must be >= 0");
+}
+
+void DemandEstimator::observe(const sim::TaskReport& report) {
+  const auto feed = [&](Stats& s) {
+    for (std::size_t i = 0; i < kNumResources; ++i)
+      s.demand[i].add(report.peak_usage.at(i));
+    s.duration.add(report.duration);
+  };
+  feed(stats_[phase_key(report.job, report.stage)]);
+  if (report.template_id >= 0)
+    feed(stats_[template_key(report.template_id, report.stage)]);
+  ++observations_;
+}
+
+Estimate DemandEstimator::from_stats(const Stats& stats,
+                                     EstimateSource source) const {
+  Estimate e;
+  e.source = source;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    e.demand.at(i) = stats.demand[i].mean() +
+                     config_.headroom_stdevs * stats.demand[i].stdev();
+  }
+  e.duration = stats.duration.mean() +
+               config_.headroom_stdevs * stats.duration.stdev();
+  return e;
+}
+
+Estimate DemandEstimator::estimate(sim::JobId job, int stage, int template_id,
+                                   const Resources& default_demand,
+                                   double default_duration) const {
+  // Freshest first: measured tasks of this very phase.
+  if (const auto it = stats_.find(phase_key(job, stage));
+      it != stats_.end() &&
+      it->second.count() >= static_cast<std::size_t>(config_.min_samples)) {
+    return from_stats(it->second, EstimateSource::kPhaseProfile);
+  }
+  if (template_id >= 0) {
+    if (const auto it = stats_.find(template_key(template_id, stage));
+        it != stats_.end() &&
+        it->second.count() >= static_cast<std::size_t>(config_.min_samples)) {
+      return from_stats(it->second, EstimateSource::kTemplateHistory);
+    }
+  }
+  Estimate e;
+  e.source = EstimateSource::kOverestimate;
+  e.demand = default_demand * config_.overestimate_factor;
+  e.duration = default_duration * config_.overestimate_factor;
+  return e;
+}
+
+}  // namespace tetris::core

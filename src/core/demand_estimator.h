@@ -1,0 +1,96 @@
+// Demand estimation (paper §4.1).
+//
+// Tetris learns tasks' peak demands rather than asking users:
+//   1. Recurring jobs (same template on new data) reuse statistics from
+//      prior runs of the template.
+//   2. Tasks in a phase perform the same computation on different
+//      partitions, so once the first few tasks of a phase complete, their
+//      measured statistics estimate the rest.
+//   3. With neither source available, demands are over-estimated: an
+//      over-estimate only idles resources (which the tracker reclaims),
+//      while an under-estimate slows tasks down.
+//
+// This is the reference component; the simulator models the same behaviour
+// via EstimationMode::kLearnedProfile so the fast path stays allocation-
+// free (see sim/config.h).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/scheduler.h"
+#include "util/resources.h"
+#include "util/stats.h"
+
+namespace tetris::core {
+
+enum class EstimateSource {
+  kPhaseProfile,     // measured tasks of this very phase
+  kTemplateHistory,  // prior runs of the recurring job
+  kOverestimate,     // no data: padded default
+};
+
+struct Estimate {
+  Resources demand;
+  double duration = 0;
+  EstimateSource source = EstimateSource::kOverestimate;
+};
+
+struct EstimatorConfig {
+  // Multiplier applied to the caller-provided default when no measurements
+  // exist (over-estimation is the safe direction).
+  double overestimate_factor = 1.4;
+  // Measurements needed before a phase profile / template history is
+  // trusted.
+  int min_samples = 2;
+  // Safety headroom on learned means, in standard deviations (demands of a
+  // phase are statistically similar but not identical).
+  double headroom_stdevs = 0.5;
+};
+
+class DemandEstimator {
+ public:
+  explicit DemandEstimator(EstimatorConfig config = {});
+
+  // Feeds one completed task's measured peak usage and runtime.
+  void observe(const sim::TaskReport& report);
+
+  // Estimates the demand of a pending task of (job, stage); template_id is
+  // -1 for non-recurring jobs. `default_demand`/`default_duration` come
+  // from static knowledge (input sizes are known before execution).
+  Estimate estimate(sim::JobId job, int stage, int template_id,
+                    const Resources& default_demand,
+                    double default_duration) const;
+
+  long observations() const { return observations_; }
+
+ private:
+  struct Stats {
+    std::array<RunningStats, kNumResources> demand;
+    RunningStats duration;
+    std::size_t count() const { return duration.count(); }
+  };
+
+  Estimate from_stats(const Stats& stats, EstimateSource source) const;
+
+  static std::uint64_t phase_key(sim::JobId job, int stage) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job))
+            << 32) |
+           static_cast<std::uint32_t>(stage);
+  }
+  static std::uint64_t template_key(int template_id, int stage) {
+    // Tag bit 63 separates the template keyspace from the phase keyspace.
+    return (1ull << 63) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                template_id))
+            << 32) |
+           static_cast<std::uint32_t>(stage);
+  }
+
+  EstimatorConfig config_;
+  std::unordered_map<std::uint64_t, Stats> stats_;
+  long observations_ = 0;
+};
+
+}  // namespace tetris::core

@@ -1,0 +1,418 @@
+#include "core/tetris_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sched/common.h"
+
+namespace tetris::core {
+
+TetrisScheduler::TetrisScheduler(TetrisConfig config)
+    : config_(std::move(config)) {
+  if (config_.fairness_knob < 0 || config_.fairness_knob >= 1.0)
+    throw std::invalid_argument("fairness_knob must be in [0, 1)");
+  if (config_.barrier_knob < 0 || config_.barrier_knob > 1.0)
+    throw std::invalid_argument("barrier_knob must be in [0, 1]");
+  if (config_.remote_penalty < 0 || config_.remote_penalty > 1.0)
+    throw std::invalid_argument("remote_penalty must be in [0, 1]");
+  if (config_.srtf_weight < 0)
+    throw std::invalid_argument("srtf_weight must be >= 0");
+  if (config_.starvation_threshold <= 0)
+    throw std::invalid_argument("starvation_threshold must be > 0");
+  if (config_.future_lookahead < 0)
+    throw std::invalid_argument("future_lookahead must be >= 0");
+  if (config_.preemption_deficit <= 0 || config_.preemption_deficit > 1)
+    throw std::invalid_argument("preemption_deficit must be in (0, 1]");
+}
+
+void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
+  // Keep the report stream drained (a real deployment feeds the demand
+  // estimator from it; the simulation's estimation model already reflects
+  // that behaviour, see sim/config.h).
+  (void)ctx.take_reports();
+
+  auto jobs = ctx.active_jobs();
+  auto groups = ctx.runnable_groups();
+  if (jobs.empty() || groups.empty()) return;
+
+  std::unordered_map<sim::JobId, std::size_t> job_index;
+  for (std::size_t i = 0; i < jobs.size(); ++i) job_index[jobs[i].id] = i;
+
+  // Mean remaining work over active jobs: the p_bar of eps = a_bar/p_bar.
+  double p_bar = 0;
+  for (const auto& j : jobs) p_bar += j.remaining_work;
+  p_bar = jobs.size() ? p_bar / static_cast<double>(jobs.size()) : 0;
+  if (p_bar <= 0) p_bar = 1;
+
+  // Extra allocation / placements committed during this pass, so the
+  // fairness ordering tracks our own placements.
+  std::vector<Resources> extra(jobs.size());
+  std::vector<int> placed_from(jobs.size(), 0);
+
+  // The fair schedulers Tetris generalizes offer resources among jobs that
+  // *have pending tasks*; a job waiting at a barrier demands nothing and
+  // must not occupy an eligibility slot (it would idle the cluster as
+  // f -> 1).
+  const auto eligible_jobs = [&]() {
+    std::unordered_set<sim::JobId> out;
+    std::vector<sim::JobView> schedulable;
+    schedulable.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].runnable_tasks - placed_from[i] <= 0) continue;
+      sim::JobView v = jobs[i];
+      v.current_alloc += extra[i];
+      schedulable.push_back(std::move(v));
+    }
+    if (config_.fairness_knob <= 0) {
+      for (const auto& j : schedulable) out.insert(j.id);
+      return out;
+    }
+    if (config_.fairness_over_queues) {
+      // Queue granularity: all jobs of the furthest-below queues are
+      // eligible. Shares aggregate over *all* active jobs of a queue (its
+      // running work counts even if momentarily unschedulable), but only
+      // queues with schedulable jobs occupy eligibility slots.
+      std::unordered_set<int> schedulable_queues;
+      for (const auto& j : schedulable) schedulable_queues.insert(j.queue);
+      std::vector<sim::JobView> adjusted = jobs;
+      for (std::size_t i = 0; i < adjusted.size(); ++i)
+        adjusted[i].current_alloc += extra[i];
+      std::vector<sim::JobView> counted;
+      for (const auto& j : adjusted) {
+        if (schedulable_queues.contains(j.queue)) counted.push_back(j);
+      }
+      const auto order = sched::furthest_queues_order(
+          config_.fairness_policy, counted, ctx.cluster_capacity(),
+          config_.slot_mem);
+      const auto cut = static_cast<std::size_t>(std::max(
+          1.0, std::ceil((1.0 - config_.fairness_knob) *
+                         static_cast<double>(order.size()))));
+      std::unordered_set<int> eligible_queues(
+          order.begin(),
+          order.begin() + static_cast<long>(std::min(cut, order.size())));
+      for (const auto& j : schedulable) {
+        if (eligible_queues.contains(j.queue)) out.insert(j.id);
+      }
+      return out;
+    }
+    const auto order = sched::furthest_from_share_order(
+        config_.fairness_policy, schedulable, ctx.cluster_capacity(),
+        config_.slot_mem);
+    const auto cut = static_cast<std::size_t>(std::max(
+        1.0, std::ceil((1.0 - config_.fairness_knob) *
+                       static_cast<double>(schedulable.size()))));
+    for (std::size_t k = 0; k < std::min(cut, order.size()); ++k)
+      out.insert(schedulable[order[k]].id);
+    return out;
+  };
+
+  const auto fits = [&](const sim::Probe& p) {
+    const Resources avail = ctx.available(p.machine);
+    if (config_.only_cpu_mem) return sched::fits_cpu_mem(p.demand, avail);
+    return sched::fits_all_local(p.demand, avail) &&
+           (!config_.check_remote || sched::remote_legs_fit(ctx, p));
+  };
+
+  // Selection tiers: 2 = starved (reservation extension), 1 = barrier
+  // stragglers (§3.5), 0 = normal. Higher tiers always win. Starved means
+  // tasks have waited past the threshold *and* the group received no
+  // placement within it (a backlogged group served every pass is queued,
+  // not starved).
+  const auto tier_of = [&](const sim::GroupView& g) {
+    double unserved = g.longest_wait;
+    if (const auto it = last_placement_.find(group_key(g.ref));
+        it != last_placement_.end()) {
+      unserved = std::min(unserved, ctx.now() - it->second);
+    }
+    if (unserved > config_.starvation_threshold) return 2;
+    if (config_.barrier_knob < 1.0 &&
+        static_cast<double>(g.finished) >=
+            config_.barrier_knob * static_cast<double>(g.total)) {
+      return 1;
+    }
+    return 0;
+  };
+
+  // Starvation reservation: while some starved group fits nowhere, fence
+  // off the machine with the most free headroom so departing tasks
+  // accumulate capacity for it instead of being backfilled.
+  int reserved_machine = -1;
+  {
+    bool any_starved = false;
+    for (const auto& g : groups) {
+      if (g.runnable > 0 && tier_of(g) == 2) {
+        any_starved = true;
+        break;
+      }
+    }
+    if (any_starved) {
+      double best_headroom = -1;
+      for (int m = 0; m < ctx.num_machines(); ++m) {
+        const double headroom = ctx.available(m)
+                                    .normalized_by(ctx.capacity(m))
+                                    .sum();
+        if (headroom > best_headroom) {
+          best_headroom = headroom;
+          reserved_machine = m;
+        }
+      }
+    }
+  }
+
+  auto eligible = eligible_jobs();
+
+  // Globally greedy rounds over all <task-group, machine> pairs: the paper
+  // "picks the <task, machine> pair with the highest dot product value".
+  // Probes and alignment scores are cached per pair; a placement only
+  // invalidates its machine's column (availability changed), the source
+  // machines of its remote legs, and its group's row (the best-locality
+  // candidate task changed).
+  const int num_machines = ctx.num_machines();
+  const std::size_t num_groups = groups.size();
+  struct Cell {
+    sim::Probe probe;
+    double alignment = 0;
+    bool fresh = false;     // probe + alignment are up to date
+    bool rejected = false;  // does not fit; sticky until invalidated
+  };
+  std::vector<Cell> cells(num_groups * static_cast<std::size_t>(num_machines));
+  const auto cell = [&](std::size_t g, int m) -> Cell& {
+    return cells[g * static_cast<std::size_t>(num_machines) +
+                 static_cast<std::size_t>(m)];
+  };
+
+  const auto refresh_cell = [&](std::size_t g, int m) {
+    Cell& c = cell(g, m);
+    c.fresh = true;
+    c.rejected = true;
+    auto& group = groups[g];
+    if (group.runnable <= 0) return;
+    const Resources avail = ctx.available(m);
+    // Cheap exact reject on the placement-independent dimensions.
+    if (!sched::fits_cpu_mem(group.est_demand, avail)) return;
+    sim::Probe p = ctx.probe(group.ref, m);
+    if (!p.valid) {
+      group.runnable = 0;
+      return;
+    }
+    if (!fits(p)) return;
+    const Resources cap = ctx.capacity(m);
+    double a = alignment_score(config_.alignment, p.demand.normalized_by(cap),
+                               avail.normalized_by(cap));
+    a *= 1.0 - config_.remote_penalty * (1.0 - p.local_fraction);
+    alignment_sum_ += std::abs(a);
+    alignment_count_++;
+    c.probe = std::move(p);
+    c.alignment = a;
+    c.rejected = false;
+  };
+
+  // Future-demand hold-back (§3.5 extension): demands of stages about to
+  // unblock within the lookahead window. A tier-0 candidate loses a
+  // machine to the future only when BOTH hold: an imminent stage would
+  // align strictly better on the machine's current availability, AND the
+  // candidate runs longer than that stage's eta — holding back costs at
+  // most eta of idleness, while placing blocks the imminent stage for the
+  // candidate's whole duration. Without the duration test, deep DAGs
+  // (where something is always imminent) would suppress all work.
+  struct ImminentDemand {
+    Resources demand;
+    double eta;
+    int tasks;  // claim budget: a stage can use at most this many machines
+  };
+  std::vector<ImminentDemand> imminent_demands;
+  if (config_.future_lookahead > 0) {
+    for (const auto& g : ctx.imminent_groups()) {
+      if (g.eta <= config_.future_lookahead) {
+        imminent_demands.push_back({g.est_demand, g.eta, g.total});
+      }
+    }
+  }
+  // Per machine, per round: the (alignment, eta) claims of imminent stages.
+  // Each stage claims only the machines where it aligns best, at most as
+  // many as it has tasks — otherwise a small stage would fence the whole
+  // cluster.
+  const int total_machines = ctx.num_machines();
+  const auto future_claims = [&]() {
+    std::vector<std::vector<std::pair<double, double>>> claims(
+        static_cast<std::size_t>(total_machines));
+    std::vector<std::pair<double, int>> scored;  // (alignment, machine)
+    for (const auto& i : imminent_demands) {
+      scored.clear();
+      for (int m = 0; m < total_machines; ++m) {
+        const Resources cap = ctx.capacity(m);
+        if (!i.demand.fits_within(cap)) continue;
+        scored.emplace_back(
+            alignment_score(config_.alignment, i.demand.normalized_by(cap),
+                            ctx.available(m).normalized_by(cap)),
+            m);
+      }
+      const auto budget = static_cast<std::size_t>(
+          std::max(1, std::min(i.tasks, total_machines)));
+      if (scored.size() > budget) {
+        std::partial_sort(scored.begin(),
+                          scored.begin() + static_cast<long>(budget),
+                          scored.end(), std::greater<>());
+        scored.resize(budget);
+      }
+      for (const auto& [align, m] : scored) {
+        claims[static_cast<std::size_t>(m)].emplace_back(align, i.eta);
+      }
+    }
+    return claims;
+  };
+
+  while (true) {
+    // eps is frozen for this round so all candidates are compared under
+    // the same SRTF weight; the running a_bar only feeds later rounds.
+    const double round_eps =
+        config_.srtf_weight *
+        (alignment_count_ > 0
+             ? alignment_sum_ / static_cast<double>(alignment_count_)
+             : 0.0) /
+        p_bar;
+
+    // Per-round hold-back claims (availability changes between rounds).
+    std::vector<std::vector<std::pair<double, double>>> claims;
+    if (!imminent_demands.empty()) claims = future_claims();
+
+    Cell* best = nullptr;
+    std::size_t best_group = 0;
+    double best_score = 0;
+    int best_tier = -1;
+
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      auto& group = groups[g];
+      if (group.runnable <= 0) continue;
+      const int tier = tier_of(group);
+      // Priority (barrier/starved) groups bypass the fairness restriction:
+      // they take only a small amount of resources (§3.5).
+      if (tier == 0 && !eligible.contains(group.ref.job)) continue;
+      // Once a higher-tier candidate exists, lower tiers cannot win.
+      if (tier < best_tier) continue;
+      const double rem = config_.srtf_weight > 0
+                             ? jobs[job_index.at(group.ref.job)].remaining_work
+                             : 0.0;
+      for (int m = 0; m < num_machines; ++m) {
+        // A reserved machine only accepts the starved tier.
+        if (m == reserved_machine && tier < 2) continue;
+        Cell& c = cell(g, m);
+        if (!c.fresh) refresh_cell(g, m);
+        if (c.rejected) continue;
+        // Future hold-back: a better-aligned stage unblocks here before
+        // this (longer) candidate would release the resources.
+        if (tier == 0 && !claims.empty()) {
+          bool held = false;
+          for (const auto& [align, eta] :
+               claims[static_cast<std::size_t>(m)]) {
+            if (align > c.alignment && c.probe.duration > eta) {
+              held = true;
+              break;
+            }
+          }
+          if (held) continue;
+        }
+        const double score = c.alignment - round_eps * rem;
+        if (best == nullptr || tier > best_tier ||
+            (tier == best_tier && score > best_score)) {
+          best = &c;
+          best_group = g;
+          best_score = score;
+          best_tier = tier;
+        }
+      }
+    }
+
+    if (best == nullptr) break;
+    // Re-validate against live availability: a cached probe's *remote*
+    // legs may have been consumed by a placement on a third machine whose
+    // column this cell does not share.
+    if (!fits(best->probe)) {
+      best->rejected = true;
+      continue;
+    }
+    const sim::Probe placed = best->probe;
+    if (!ctx.place(placed)) {
+      best->rejected = true;
+      continue;
+    }
+    groups[best_group].runnable--;
+    stats_.placements++;
+    if (best_tier == 1) stats_.priority_placements++;
+    if (best_tier == 2) stats_.starved_placements++;
+    last_placement_[group_key(placed.group)] = ctx.now();
+    const auto ji = job_index.at(placed.group.job);
+    extra[ji] += placed.demand;
+    placed_from[ji]++;
+    if (config_.fairness_knob > 0) eligible = eligible_jobs();
+
+    // Invalidate what the placement changed: the group's candidate task,
+    // the host machine's availability, and the remote sources' budgets.
+    for (int m = 0; m < num_machines; ++m) cell(best_group, m).fresh = false;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      cell(g, placed.machine).fresh = false;
+      for (const auto& leg : placed.remote) {
+        // Rack uplinks carry ids past the placement machines; they have no
+        // cell column (the pre-place re-validation catches staleness).
+        if (leg.machine < num_machines) cell(g, leg.machine).fresh = false;
+      }
+    }
+  }
+
+  // Fairness preemption (extension): the main loop exhausted every
+  // placeable candidate, so a schedulable job left with runnable tasks
+  // provably fits nowhere. If the furthest-below one trails fair share
+  // badly, kill the newest task of the most over-share job (one per pass).
+  if (!config_.preempt_for_fairness) return;
+  const sim::JobView* starving = nullptr;
+  double min_share = 0;
+  int schedulable = 0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].runnable_tasks - placed_from[i] <= 0) continue;
+    schedulable++;
+    sim::JobView adjusted = jobs[i];
+    adjusted.current_alloc += extra[i];
+    const double share =
+        sched::job_share(config_.fairness_policy, adjusted,
+                         ctx.cluster_capacity(), config_.slot_mem);
+    if (starving == nullptr || share < min_share) {
+      starving = &jobs[i];
+      min_share = share;
+    }
+  }
+  if (starving == nullptr || jobs.size() < 2) return;
+  const double fair = 1.0 / static_cast<double>(jobs.size());
+  if (fair - min_share < config_.preemption_deficit) return;
+
+  const auto running = ctx.running_tasks();
+  const sim::RunningTaskView* victim = nullptr;
+  double victim_share = fair;
+  std::unordered_map<sim::JobId, double> shares;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    sim::JobView adjusted = jobs[i];
+    adjusted.current_alloc += extra[i];
+    shares[jobs[i].id] =
+        sched::job_share(config_.fairness_policy, adjusted,
+                         ctx.cluster_capacity(), config_.slot_mem);
+  }
+  for (const auto& t : running) {
+    if (t.job == starving->id) continue;
+    const auto it = shares.find(t.job);
+    if (it == shares.end() || it->second <= fair) continue;
+    // Most over-share job first; newest task within it (least work lost).
+    if (victim == nullptr || it->second > victim_share ||
+        (it->second == victim_share && t.started > victim->started)) {
+      victim = &t;
+      victim_share = it->second;
+    }
+  }
+  if (victim != nullptr && ctx.preempt(victim->uid)) {
+    stats_.preemptions++;
+  }
+}
+
+}  // namespace tetris::core

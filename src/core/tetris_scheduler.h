@@ -1,0 +1,139 @@
+// The Tetris scheduler (paper §3) — the primary contribution.
+//
+// Per scheduling pass it walks machines with free resources and repeatedly
+// places the best task on each until nothing more fits:
+//   * Admission (§3.2): a task is considered only if its *peak* estimated
+//     demands fit — every dimension locally, plus disk-read / net-out at
+//     each remote input source. Over-allocation is therefore impossible.
+//   * Alignment (§3.2): among admissible tasks, prefer the one whose
+//     demand vector best matches the machine's available vector (weighted
+//     dot product by default; see alignment.h for the Table 7
+//     alternatives). Tasks reading remotely are penalized by
+//     `remote_penalty` so local resources are preferred and the network is
+//     left for tasks that compulsively need it.
+//   * Multi-resource SRTF (§3.3): the alignment score is combined with the
+//     job's remaining work p via score = a - eps * p, with
+//     eps = srtf_weight * (mean |a|) / (mean p), preferring jobs closer to
+//     completion without surrendering packing efficiency.
+//   * Fairness knob (§3.4): with knob f, only the ceil((1-f)|J|) jobs
+//     furthest from their fair share are considered. f=0 is the most
+//     efficient schedule; f -> 1 is strictly fair.
+//   * Barrier hint (§3.5): once a stage preceding a barrier is >= b
+//     complete, its stragglers get strict priority (they gate the next
+//     stage of the DAG while consuming few resources).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+
+#include "core/alignment.h"
+#include "sched/fairness.h"
+#include "sim/scheduler.h"
+#include "util/units.h"
+
+namespace tetris::core {
+
+struct TetrisConfig {
+  AlignmentKind alignment = AlignmentKind::kCosine;
+
+  // Score multiplier (1 - remote_penalty * remote_fraction); 0.1 in the
+  // paper, flat between ~0.05 and ~0.4 per §5.3.3.
+  double remote_penalty = 0.10;
+
+  // The m knob of §5.3.3: eps = srtf_weight * mean|a| / mean p. 0 disables
+  // the SRTF term (pure packing, the epsilon=0 ablation).
+  double srtf_weight = 1.0;
+
+  // Fairness knob f in [0, 1). 0 = most efficient, -> 1 = most fair.
+  double fairness_knob = 0.25;
+  sched::FairnessPolicy fairness_policy = sched::FairnessPolicy::kDrf;
+  double slot_mem = 2 * kGB;  // for the kSlots fairness policy
+  // Apply the knob at queue granularity (paper §3.4: "jobs (or groups of
+  // jobs)"): the first ceil((1-f)·Q) queues furthest below their share are
+  // eligible, and any job inside them may be served.
+  bool fairness_over_queues = false;
+
+  // Barrier knob b in [0, 1]; stages preceding a barrier whose finished
+  // fraction reaches b get priority. 1 disables the hint.
+  double barrier_knob = 0.9;
+
+  // Fairness preemption (extension; paper §3.1 excludes preemption "for
+  // simplicity" — YARN's Capacity scheduler enforces queue fairness by
+  // killing over-share containers). When enabled, if the furthest-below
+  // schedulable job's dominant share trails fair share by more than
+  // preemption_deficit AND none of its tasks fit anywhere, Tetris kills
+  // the most-recently-started task (least work lost) of the most
+  // over-share job — at most one kill per pass, so enforcement stays
+  // gentle and cannot thrash.
+  bool preempt_for_fairness = false;
+  double preemption_deficit = 0.25;
+
+  // Starvation reservation (extension; paper §3.5 notes the risk that
+  // large tasks never see enough free resources at once and leaves a
+  // principled reservation to future work). A task runnable for longer
+  // than this threshold marks its group *starved*: starved groups outrank
+  // everything else, and while one cannot be placed anywhere, the
+  // emptiest machine is reserved — no non-starved task may take it — so
+  // resources accumulate there until the starved task fits. Infinity
+  // disables the mechanism (the paper's deployed behaviour, which relies
+  // on heartbeat batching).
+  double starvation_threshold = std::numeric_limits<double>::infinity();
+
+  // Future-demand lookahead in seconds (extension; paper §3.5 "Future
+  // Demands" notes that job managers know their DAGs and task finish
+  // times can be predicted, and leaves exploiting that to future work).
+  // When > 0: a machine's resources are withheld from a candidate if a
+  // stage predicted to unblock within the lookahead would align strictly
+  // better there — mimicking the offline schedule instead of greedily
+  // backfilling with long poorly-aligned work. 0 disables (the paper's
+  // deployed behaviour).
+  double future_lookahead = 0;
+
+  // Check disk-read/net-out availability at remote input sources (§3.2).
+  bool check_remote = true;
+
+  // Ablation switch (§5.3.1): consider only CPU and memory, like the
+  // baselines — reintroduces disk/network over-allocation.
+  bool only_cpu_mem = false;
+
+  std::string name = "tetris";
+};
+
+class TetrisScheduler final : public sim::Scheduler {
+ public:
+  explicit TetrisScheduler(TetrisConfig config = {});
+
+  std::string name() const override { return config_.name; }
+  void schedule(sim::SchedulerContext& ctx) override;
+
+  const TetrisConfig& config() const { return config_; }
+
+  // Lifetime counters, for tests and diagnostics.
+  struct Stats {
+    long placements = 0;
+    long priority_placements = 0;  // won via the barrier hint
+    long starved_placements = 0;   // won via the starvation reservation
+    long preemptions = 0;          // kills issued by fairness preemption
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static long long group_key(const sim::GroupRef& ref) {
+    return (static_cast<long long>(ref.job) << 20) | ref.stage;
+  }
+
+  TetrisConfig config_;
+  Stats stats_;
+  // Running average of |alignment| across the scheduler's lifetime; the
+  // a_bar of eps = a_bar / p_bar. Frozen at the start of every candidate
+  // round so simultaneous candidates are compared under one eps.
+  double alignment_sum_ = 0;
+  long alignment_count_ = 0;
+  // When each group last received a placement. A group is starved only if
+  // its tasks have waited long AND it has not been served recently — a
+  // backlogged group that places tasks every pass is queued, not starved.
+  std::unordered_map<long long, double> last_placement_;
+};
+
+}  // namespace tetris::core

@@ -1,0 +1,52 @@
+#include "sched/common.h"
+
+namespace tetris::sched {
+
+bool fits_cpu_mem(const Resources& demand, const Resources& avail) {
+  constexpr double kSlack = 1e-9;
+  return demand[Resource::kCpu] <=
+             avail[Resource::kCpu] * (1 + kSlack) + kSlack &&
+         demand[Resource::kMem] <= avail[Resource::kMem] * (1 + kSlack) + 1;
+}
+
+bool fits_all_local(const Resources& demand, const Resources& avail) {
+  return demand.fits_within(avail);
+}
+
+bool remote_legs_fit(const sim::SchedulerContext& ctx, const sim::Probe& p) {
+  for (const auto& leg : p.remote) {
+    const Resources avail = ctx.available(leg.machine);
+    if (leg.disk_read > avail[Resource::kDiskRead] * (1 + 1e-9) ||
+        leg.net_out > avail[Resource::kNetOut] * (1 + 1e-9) ||
+        leg.net_in > avail[Resource::kNetIn] * (1 + 1e-9)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<sim::Probe> best_machine_for_group(
+    sim::SchedulerContext& ctx, const sim::GroupView& group,
+    const std::function<bool(const sim::Probe&)>& fits,
+    const MachinePrefilter& prefilter) {
+  std::optional<sim::Probe> best;
+  for (int m = 0; m < ctx.num_machines(); ++m) {
+    if (prefilter && !prefilter(ctx.available(m))) continue;
+    sim::Probe p = ctx.probe(group.ref, m);
+    if (!p.valid || !fits(p)) continue;
+    if (!best || p.local_fraction > best->local_fraction) {
+      best = std::move(p);
+      if (best->local_fraction >= 1.0) break;
+    }
+  }
+  return best;
+}
+
+MachinePrefilter cpu_mem_prefilter(const sim::GroupView& group) {
+  const Resources demand = group.est_demand;
+  return [demand](const Resources& avail) {
+    return fits_cpu_mem(demand, avail);
+  };
+}
+
+}  // namespace tetris::sched

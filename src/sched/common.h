@@ -1,0 +1,40 @@
+// Small helpers shared across scheduler implementations: admission
+// predicates and machine scans.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/scheduler.h"
+#include "util/resources.h"
+
+namespace tetris::sched {
+
+// CPU + memory admission only — what today's schedulers check (§1): disk
+// and network are ignored, which is where over-allocation comes from.
+bool fits_cpu_mem(const Resources& demand, const Resources& avail);
+
+// All six dimensions at the host.
+bool fits_all_local(const Resources& demand, const Resources& avail);
+
+// The probe's remote legs fit at each source machine (Tetris's §3.2 check
+// that remote reads have disk-read and net-out bandwidth at the sources).
+bool remote_legs_fit(const sim::SchedulerContext& ctx, const sim::Probe& p);
+
+// Scans every machine for the best placement of `group` under the
+// admission predicate `fits`; "best" is the fitting probe with the highest
+// local fraction (earliest machine on ties). Returns nullopt when no
+// machine admits the group. `prefilter`, when set, cheaply rejects
+// machines by their available vector before the (costlier) probe; cpu/mem
+// demands are placement-independent so prefiltering on them is exact.
+using MachinePrefilter = std::function<bool(const Resources& avail)>;
+
+std::optional<sim::Probe> best_machine_for_group(
+    sim::SchedulerContext& ctx, const sim::GroupView& group,
+    const std::function<bool(const sim::Probe&)>& fits,
+    const MachinePrefilter& prefilter = {});
+
+// Standard prefilter: group's estimated cpu+mem must fit.
+MachinePrefilter cpu_mem_prefilter(const sim::GroupView& group);
+
+}  // namespace tetris::sched

@@ -1,0 +1,35 @@
+// Dominant Resource Fairness baseline (Ghodsi et al., NSDI'11), as
+// deployed: the next resource grant goes to the job with the lowest
+// dominant share. Deployed implementations consider only CPU and memory
+// (paper §6); tasks are admitted when their CPU+memory demands fit, so
+// disk and network get over-allocated. A dimension list lets experiments
+// build the "DRF extended with network" variant of the §2.1 example.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/resources.h"
+
+namespace tetris::sched {
+
+struct DrfSchedulerConfig {
+  // Dimensions DRF tracks for both dominant shares and admission.
+  std::vector<Resource> dims = {Resource::kCpu, Resource::kMem};
+  std::string name = "drf";
+};
+
+class DrfScheduler final : public sim::Scheduler {
+ public:
+  explicit DrfScheduler(DrfSchedulerConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return config_.name; }
+  void schedule(sim::SchedulerContext& ctx) override;
+
+ private:
+  DrfSchedulerConfig config_;
+};
+
+}  // namespace tetris::sched

@@ -1,0 +1,83 @@
+#include "sched/fairness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace tetris::sched {
+
+double dominant_share(const Resources& alloc, const Resources& capacity,
+                      const std::vector<Resource>& dims) {
+  double share = 0;
+  for (Resource r : dims) {
+    if (capacity[r] > 0) share = std::max(share, alloc[r] / capacity[r]);
+  }
+  return share;
+}
+
+double job_share(FairnessPolicy policy, const sim::JobView& job,
+                 const Resources& cluster_capacity, double slot_mem) {
+  switch (policy) {
+    case FairnessPolicy::kSlots: {
+      const double total_slots =
+          slot_mem > 0 ? cluster_capacity[Resource::kMem] / slot_mem : 0;
+      if (total_slots <= 0) return 0;
+      // Occupied slots approximated by memory allocation in slot units.
+      const double occupied =
+          std::ceil(job.current_alloc[Resource::kMem] / slot_mem);
+      return occupied / total_slots;
+    }
+    case FairnessPolicy::kDrf:
+      return dominant_share(job.current_alloc, cluster_capacity,
+                            {Resource::kCpu, Resource::kMem});
+  }
+  return 0;
+}
+
+std::vector<std::size_t> furthest_from_share_order(
+    FairnessPolicy policy, const std::vector<sim::JobView>& jobs,
+    const Resources& cluster_capacity, double slot_mem) {
+  std::vector<std::pair<double, std::size_t>> keyed;
+  keyed.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    keyed.emplace_back(job_share(policy, jobs[i], cluster_capacity, slot_mem),
+                       i);
+  }
+  std::sort(keyed.begin(), keyed.end(), [&](const auto& x, const auto& y) {
+    if (x.first != y.first) return x.first < y.first;
+    const auto& jx = jobs[x.second];
+    const auto& jy = jobs[y.second];
+    if (jx.arrival != jy.arrival) return jx.arrival < jy.arrival;
+    return jx.id < jy.id;
+  });
+  std::vector<std::size_t> order;
+  order.reserve(keyed.size());
+  for (const auto& [share, i] : keyed) order.push_back(i);
+  return order;
+}
+
+std::vector<int> furthest_queues_order(FairnessPolicy policy,
+                                       const std::vector<sim::JobView>& jobs,
+                                       const Resources& cluster_capacity,
+                                       double slot_mem) {
+  // Aggregate allocations per queue into one synthetic "job" per queue,
+  // then reuse the per-job share computation.
+  std::map<int, sim::JobView> queues;
+  for (const auto& j : jobs) {
+    auto [it, inserted] = queues.try_emplace(j.queue);
+    it->second.queue = j.queue;
+    it->second.current_alloc += j.current_alloc;
+  }
+  std::vector<std::pair<double, int>> keyed;
+  keyed.reserve(queues.size());
+  for (const auto& [q, agg] : queues) {
+    keyed.emplace_back(job_share(policy, agg, cluster_capacity, slot_mem), q);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<int> order;
+  order.reserve(keyed.size());
+  for (const auto& [share, q] : keyed) order.push_back(q);
+  return order;
+}
+
+}  // namespace tetris::sched

@@ -1,0 +1,53 @@
+// Fairness bookkeeping shared by the baseline schedulers and Tetris's
+// fairness knob (§3.4). A large class of fair schedulers share one
+// operation: "offer the next available resource to the job that is
+// currently furthest from its fair share". These helpers compute the
+// per-job share under the two policies the paper evaluates and produce the
+// furthest-from-share ordering.
+#pragma once
+
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "util/resources.h"
+
+namespace tetris::sched {
+
+enum class FairnessPolicy {
+  // Slot fairness: share = fraction of the cluster's slots a job occupies
+  // (slots defined on memory, as in Hadoop's Fair/Capacity schedulers).
+  kSlots,
+  // Dominant Resource Fairness: share = max over CPU and memory of the
+  // job's allocation relative to cluster capacity (deployed DRF considers
+  // only CPU and memory, §6).
+  kDrf,
+};
+
+// Current share of one job in [0, 1] under `policy`, given cluster
+// capacity. For kSlots, `slot_mem` is the memory quantum of one slot.
+double job_share(FairnessPolicy policy, const sim::JobView& job,
+                 const Resources& cluster_capacity, double slot_mem);
+
+// Orders jobs by how far each is below its (equal) fair share, furthest
+// first. With equal entitlements this is ascending share order; ties break
+// by arrival then id for determinism. Returns indices into `jobs`.
+std::vector<std::size_t> furthest_from_share_order(
+    FairnessPolicy policy, const std::vector<sim::JobView>& jobs,
+    const Resources& cluster_capacity, double slot_mem);
+
+// Dominant share over a restricted dimension set (used by DRF variants
+// that consider more resources, e.g. the §2.1 example's DRF+network).
+double dominant_share(const Resources& alloc, const Resources& capacity,
+                      const std::vector<Resource>& dims);
+
+// Queue-level fairness (paper §3.4 applies its policies to "jobs (or
+// groups of jobs)"; YARN's Capacity scheduler shares across queues).
+// Aggregates the jobs' allocations per queue and orders the queues
+// furthest below their (equal) fair share first; ties break by queue id.
+// Only queues with at least one job in `jobs` appear.
+std::vector<int> furthest_queues_order(FairnessPolicy policy,
+                                       const std::vector<sim::JobView>& jobs,
+                                       const Resources& cluster_capacity,
+                                       double slot_mem);
+
+}  // namespace tetris::sched

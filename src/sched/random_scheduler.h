@@ -1,0 +1,26 @@
+// Random placement baseline: picks a random runnable group and a random
+// machine that admits its task on every resource. Mostly a testing aid — a
+// floor any real policy should beat — and a sanity check that gains in the
+// benches come from policy, not from the harness.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/scheduler.h"
+#include "util/rng.h"
+
+namespace tetris::sched {
+
+class RandomScheduler final : public sim::Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed = 42) : rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+  void schedule(sim::SchedulerContext& ctx) override;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace tetris::sched

@@ -1,0 +1,24 @@
+// Multi-resource Shortest-Remaining-Time-First (paper §3.3.1, evaluated
+// standalone in the §5.3.1 ablation).
+//
+// Jobs are served strictly in ascending order of remaining work — the sum
+// over remaining tasks of (capacity-normalized demand x estimated
+// duration). Admission checks every resource (no over-allocation), but no
+// packing: within the chosen job, tasks go to the first machines they fit,
+// preferring locality. Greedy job ordering fragments resources, which is
+// exactly why the paper combines SRTF with the alignment score.
+#pragma once
+
+#include <string>
+
+#include "sim/scheduler.h"
+
+namespace tetris::sched {
+
+class SrtfScheduler final : public sim::Scheduler {
+ public:
+  std::string name() const override { return "srtf"; }
+  void schedule(sim::SchedulerContext& ctx) override;
+};
+
+}  // namespace tetris::sched

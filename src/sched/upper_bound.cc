@@ -1,0 +1,63 @@
+#include "sched/upper_bound.h"
+
+namespace tetris::sched {
+
+sim::Workload aggregate_workload(const sim::Workload& workload) {
+  sim::Workload out;
+  out.jobs.reserve(workload.jobs.size());
+  for (const auto& job : workload.jobs) {
+    sim::JobSpec j;
+    j.name = job.name;
+    j.arrival = job.arrival;
+    j.template_id = job.template_id;
+    j.stages.reserve(job.stages.size());
+    for (const auto& stage : job.stages) {
+      sim::StageSpec s;
+      s.name = stage.name;
+      s.deps = stage.deps;
+      // Stage-mean task: average work terms and demands across the stage.
+      sim::TaskSpec mean;
+      mean.cpu_cycles = 0;
+      mean.output_bytes = 0;
+      mean.peak_cores = 0;
+      mean.peak_mem = 0;
+      mean.max_io_bw = 0;
+      double input_bytes = 0;
+      const double n = static_cast<double>(stage.tasks.size());
+      for (const auto& t : stage.tasks) {
+        mean.cpu_cycles += t.cpu_cycles / n;
+        mean.output_bytes += t.output_bytes / n;
+        mean.peak_cores += t.peak_cores / n;
+        mean.peak_mem += t.peak_mem / n;
+        mean.max_io_bw += t.max_io_bw / n;
+        for (const auto& split : t.inputs) input_bytes += split.bytes / n;
+      }
+      if (input_bytes > 0) {
+        sim::InputSplit split;
+        split.bytes = input_bytes;
+        split.replicas = {0};  // the single aggregate machine: local read
+        mean.inputs.push_back(split);
+      }
+      s.tasks.assign(stage.tasks.size(), mean);
+      j.stages.push_back(std::move(s));
+    }
+    out.jobs.push_back(std::move(j));
+  }
+  return out;
+}
+
+sim::SimConfig aggregate_config(const sim::SimConfig& config) {
+  sim::SimConfig out = config;
+  Resources total;
+  for (const auto& cap : config.resolved_capacities()) total += cap;
+  out.num_machines = 1;
+  out.machine_capacity = total;
+  out.machine_capacities = {total};
+  out.tracker = sim::TrackerMode::kAllocation;
+  out.estimation.mode = sim::EstimationMode::kOracle;
+  out.activities.clear();
+  out.task_failure_prob = 0;
+  return out;
+}
+
+}  // namespace tetris::sched

@@ -1,0 +1,29 @@
+// The §2.2.3 "simple upper bound" on packing gains.
+//
+// The paper bounds achievable gains by solving a relaxed problem: (1) the
+// cluster is one aggregated bin per time step (no machine-level
+// fragmentation), (2) tasks of a stage all have the stage-mean
+// requirements, and (3) over-allocation is explicitly avoided. We realize
+// the same relaxation by transforming the workload — uniform per-stage
+// tasks, all input local — and running it on a single machine holding the
+// whole cluster's capacity under the packing scheduler. The resulting
+// makespan / JCT is the reference the paper reports Tetris achieving ~90%+
+// of (it is not a true optimum: that is APX-hard to compute).
+#pragma once
+
+#include "sim/config.h"
+#include "sim/spec.h"
+
+namespace tetris::sched {
+
+// Replaces every stage's tasks by clones with the stage-mean work and
+// demands, and strips replica locations so every read is local (no
+// machine-level placement effects survive aggregation).
+sim::Workload aggregate_workload(const sim::Workload& workload);
+
+// Single "machine" with the aggregate capacity of `config`'s cluster; the
+// relaxed bin. Heartbeat and estimation settings are preserved, tracker is
+// oracle-style allocation bookkeeping.
+sim::SimConfig aggregate_config(const sim::SimConfig& config);
+
+}  // namespace tetris::sched

@@ -1,0 +1,109 @@
+// Simulation configuration: cluster shape, heartbeat cadence, tracker and
+// estimation behaviour, interference constants, failure injection, and
+// measurement collection.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/interference.h"
+#include "sim/spec.h"
+#include "util/resources.h"
+#include "util/units.h"
+
+namespace tetris::sim {
+
+// How the resource tracker reports availability to the scheduler (§4.1).
+enum class TrackerMode {
+  // Bookkeeping view: capacity minus the demands the scheduler allocated.
+  // Blind to external activity and to estimation error — the view the
+  // baseline schedulers (and Fig. 6's capacity scheduler) hold.
+  kAllocation,
+  // Observed view: capacity minus usage reported by per-node trackers,
+  // minus a decaying ramp-up allowance for freshly placed tasks. Sees
+  // ingestion/evacuation and reclaims over-estimated demands.
+  kUsage,
+};
+
+// How schedulers' demand estimates relate to truth (§4.1).
+enum class EstimationMode {
+  kOracle,   // estimates == true demands
+  kNoisy,    // static per-stage multiplicative error on each resource
+  // Models the paper's estimator behaviour: a stage's demands are
+  // over-estimated until `profile_after` of its tasks complete (statistics
+  // from the first few tasks), then snap to truth. Recurring jobs
+  // (template_id >= 0) whose template ran before are exact from the start.
+  kLearnedProfile,
+};
+
+struct EstimationConfig {
+  EstimationMode mode = EstimationMode::kOracle;
+  // kNoisy: coefficient of variation of the lognormal error factor.
+  double noise_cov = 0.25;
+  // kLearnedProfile: multiplier applied while a stage is unprofiled.
+  double overestimate_factor = 1.4;
+  // kLearnedProfile: completions needed before estimates become exact.
+  int profile_after = 2;
+};
+
+// External cluster activity (data ingestion, evacuation, re-replication;
+// §4.3): a constant resource draw on one machine over a time window.
+struct BackgroundActivity {
+  MachineId machine = 0;
+  SimTime start = 0;
+  SimTime end = 0;
+  Resources usage;
+};
+
+struct SimConfig {
+  // Homogeneous cluster unless `machine_capacities` is set explicitly.
+  int num_machines = 50;
+  Resources machine_capacity = Resources::full(
+      16, 32 * kGB, 4 * 50 * kMB, 4 * 50 * kMB, 1 * kGbps, 1 * kGbps);
+  std::vector<Resources> machine_capacities;  // overrides the two above
+
+  // Rack-level network topology (paper Table 1: cross-rack bandwidth is
+  // oversubscribed — ~10x at Facebook, <2x at Bing). 0 disables rack
+  // modeling (flat network). With k machines per rack, each rack gets an
+  // uplink of (sum of member NIC bandwidth) / rack_oversubscription per
+  // direction; every cross-rack read additionally consumes uplink
+  // bandwidth at both ends, and schedulers see the uplinks through the
+  // same remote-leg admission path as source machines.
+  int machines_per_rack = 0;
+  double rack_oversubscription = 4.0;
+
+  double heartbeat_period = 1.0;
+  InterferenceModel interference;
+
+  TrackerMode tracker = TrackerMode::kAllocation;
+  // Ramp-up allowance (§4.1): window over which the tracker pads observed
+  // usage of a new task, and the initial pad as a fraction of its demand.
+  double ramp_up_window = 10.0;
+  double ramp_allowance_fraction = 0.5;
+
+  EstimationConfig estimation;
+
+  // Probability that a task attempt fails partway and re-executes.
+  double task_failure_prob = 0.0;
+
+  std::uint64_t seed = 1;
+
+  bool collect_timeline = false;
+  double timeline_period = 10.0;
+  bool collect_fairness = false;  // per-job relative integral unfairness
+  bool collect_task_records = true;
+
+  std::vector<BackgroundActivity> activities;
+
+  // Hard stop: a run that has not drained by this virtual time is reported
+  // as incomplete rather than looping forever.
+  SimTime max_time = 14 * 24 * kHours;
+
+  std::vector<Resources> resolved_capacities() const {
+    if (!machine_capacities.empty()) return machine_capacities;
+    return std::vector<Resources>(static_cast<std::size_t>(num_machines),
+                                  machine_capacity);
+  }
+};
+
+}  // namespace tetris::sim

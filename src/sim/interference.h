@@ -1,0 +1,66 @@
+// Interference model (paper §1, §2.1): when schedulers over-allocate a
+// resource, tasks do not just share it — systemic effects (disk seeks,
+// network incast, buffer overflows) lower the *total* achievable
+// throughput. This is why over-allocation "sharply lowers throughput" and
+// why two network-bound tasks co-scheduled take more than twice as long.
+//
+// Tetris never triggers this model (its admission check forbids
+// over-allocation); the slot-based and DRF baselines do, because they
+// ignore disk and network demands.
+#pragma once
+
+#include <algorithm>
+
+#include "util/resources.h"
+
+namespace tetris::sim {
+
+struct InterferenceModel {
+  // Fractional capacity lost per extra task contending for a disk
+  // (seek/rotational overhead when request streams interleave).
+  double disk_seek_alpha = 0.06;
+  // Fractional capacity lost per extra flow when the inbound link is
+  // over-subscribed (incast: synchronized senders overflow switch buffers).
+  double incast_alpha = 0.04;
+  // Floor on efficiency degradation.
+  double min_efficiency = 0.4;
+  // Over-subscription at which the penalty is fully engaged: the
+  // degradation ramps linearly from zero at 100% load to full at
+  // (1 + penalty_ramp) x capacity. A cliff at exactly 100% would punish
+  // exact-fit packings for femto-scale float rounding.
+  double penalty_ramp = 0.5;
+  // Speed multiplier applied to every task on a machine whose memory is
+  // over-committed (thrashing). The paper's Eq. 5 footnote: runtime can be
+  // "arbitrarily worse" below peak memory; we use a harsh constant.
+  double mem_thrash_factor = 0.2;
+
+  // Effective capacity of resource `r` on a machine with raw capacity
+  // `cap`, when `n_demanding` tasks together demand `total_demand`.
+  // Degradation only kicks in under over-allocation: at or below capacity
+  // the streams are provisioned and do not destructively interfere.
+  double effective_capacity(Resource r, double cap, int n_demanding,
+                            double total_demand) const {
+    if (n_demanding <= 1 || cap <= 0) return cap;
+    if (total_demand <= cap * (1.0 + 1e-9)) return cap;
+    double alpha = 0;
+    switch (r) {
+      case Resource::kDiskRead:
+      case Resource::kDiskWrite:
+        alpha = disk_seek_alpha;
+        break;
+      case Resource::kNetIn:
+      case Resource::kNetOut:
+        alpha = incast_alpha;
+        break;
+      default:
+        return cap;  // CPU timeshares cleanly; memory handled via thrash.
+    }
+    const double over = total_demand / cap - 1.0;
+    const double engage = std::min(1.0, over / penalty_ramp);
+    const double eff =
+        1.0 - alpha * static_cast<double>(n_demanding - 1) * engage;
+    return cap * std::max(min_efficiency, eff);
+  }
+};
+
+}  // namespace tetris::sim

@@ -1,0 +1,92 @@
+// Runtime state of jobs, stages and tasks inside a simulation. These are
+// owned and mutated by the Simulator; schedulers see them only through the
+// read-only views in scheduler.h.
+#pragma once
+
+#include <vector>
+
+#include "sim/placement.h"
+#include "sim/spec.h"
+#include "util/resources.h"
+#include "util/units.h"
+
+namespace tetris::sim {
+
+enum class TaskStatus {
+  kBlocked,   // upstream stage not finished
+  kRunnable,  // ready, waiting for placement
+  kRunning,
+  kFinished,
+};
+
+struct TaskState {
+  // The task's spec with shuffle splits materialized (rewritten to concrete
+  // sources once the upstream stage finished).
+  TaskSpec spec;
+  TaskStatus status = TaskStatus::kBlocked;
+  int uid = -1;            // globally unique across the simulation
+  int index_in_stage = -1;
+  // Position in the owning stage's runnable_indices while runnable.
+  int runnable_pos = -1;
+  // When the task last became runnable; feeds starvation detection.
+  SimTime runnable_since = -1;
+  MachineId host = -1;
+  SimTime start_time = -1;
+  SimTime finish_time = -1;
+  // Demands registered on machines while running.
+  PlacementDemand placement;
+  // Progress in [0,1] of the task's natural duration; advances at `speed`
+  // (the min grant ratio over all machines the task touches).
+  double progress = 0;
+  SimTime progress_updated_at = 0;
+  double speed = 0;
+  // Bumped whenever speed changes; finish events carry the generation they
+  // were computed under and are dropped if stale (lazy deletion).
+  long generation = 0;
+  int attempts = 0;  // > 1 after failure-injected re-execution
+  bool will_fail = false;
+  double fail_at_progress = 1.0;
+};
+
+struct StageState {
+  std::vector<TaskState> tasks;
+  std::vector<int> deps;
+  int unfinished_deps = 0;
+  bool materialized = false;  // shuffle splits rewritten
+  int runnable = 0;
+  int running = 0;
+  int finished = 0;
+  // Indices (into `tasks`) of the currently runnable tasks, so probes scan
+  // runnable candidates directly instead of walking finished ones.
+  std::vector<int> runnable_indices;
+  // Where this stage's outputs landed, aggregated per machine; feeds the
+  // materialization of downstream shuffle splits.
+  std::vector<std::pair<MachineId, double>> output_locations;
+
+  int total() const { return static_cast<int>(tasks.size()); }
+  bool done() const { return finished == total(); }
+};
+
+struct JobState {
+  JobId id = -1;
+  std::string name;
+  int template_id = -1;
+  int queue = 0;
+  SimTime arrival = 0;
+  SimTime finish = -1;  // -1 while incomplete
+  bool arrived = false;
+  std::vector<StageState> stages;
+  int total_tasks = 0;
+  int finished_tasks = 0;
+  int running_tasks = 0;
+  // Sum of local demand vectors of the job's running tasks (true values);
+  // the basis for fairness shares.
+  Resources current_alloc;
+  // Relative integral unfairness accumulator (paper §5.3.2): integrates
+  // (a(t) - f(t)) / f(t) over the job's active lifetime.
+  double unfairness_integral = 0;
+
+  bool complete() const { return finished_tasks == total_tasks; }
+};
+
+}  // namespace tetris::sim

@@ -1,0 +1,28 @@
+#include "sim/result.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace tetris::sim {
+
+std::vector<double> SimResult::jcts() const {
+  std::vector<double> out;
+  out.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    if (job.finish >= 0) out.push_back(job.completion_time());
+  }
+  return out;
+}
+
+double SimResult::avg_jct() const {
+  const auto xs = jcts();
+  return mean(xs);
+}
+
+double SimResult::median_jct() const {
+  const auto xs = jcts();
+  return percentile(xs, 50);
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,83 @@
+// Outputs of a simulation run: per-job and per-task records, cluster
+// timelines and scheduler cost accounting. analysis/ turns these into the
+// paper's tables and figures.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/spec.h"
+#include "util/resources.h"
+#include "util/units.h"
+
+namespace tetris::sim {
+
+struct JobRecord {
+  JobId id = -1;
+  std::string name;
+  int template_id = -1;
+  SimTime arrival = 0;
+  SimTime finish = -1;
+  int total_tasks = 0;
+  double completion_time() const { return finish - arrival; }
+  // Relative integral unfairness (§5.3.2); only populated when
+  // collect_fairness was set.
+  double unfairness_integral = 0;
+};
+
+struct TaskRecord {
+  JobId job = -1;
+  int stage = -1;
+  int index = -1;
+  MachineId host = -1;
+  SimTime start = 0;
+  SimTime finish = 0;
+  int attempts = 1;
+  double local_fraction = 1.0;
+  // Duration the task would have had with all its demands fully granted
+  // (Eq. 5 at peak rates). duration() == natural_duration iff the task was
+  // never slowed by contention — the no-over-allocation invariant.
+  double natural_duration = 0;
+  double duration() const { return finish - start; }
+};
+
+struct TimelineSample {
+  SimTime time = 0;
+  int running_tasks = 0;
+  // Cluster-wide usage as a fraction of cluster capacity, per resource.
+  std::array<double, kNumResources> utilization{};
+};
+
+struct SchedulerCost {
+  long invocations = 0;
+  long placements = 0;
+  double total_seconds = 0;  // wall clock inside Scheduler::schedule
+  double max_seconds = 0;
+  double mean_seconds() const {
+    return invocations ? total_seconds / static_cast<double>(invocations) : 0;
+  }
+};
+
+struct SimResult {
+  std::string scheduler_name;
+  bool completed = false;  // all jobs finished before max_time
+  SimTime end_time = 0;
+  // Time to finish the whole job set, measured from the first arrival.
+  SimTime makespan = 0;
+
+  std::vector<JobRecord> jobs;
+  std::vector<TaskRecord> tasks;
+  std::vector<TimelineSample> timeline;
+  // Per-resource machine-level usage fractions, one sample per machine per
+  // timeline tick; feeds the tightness probabilities (Tables 3 and 6).
+  std::array<std::vector<double>, kNumResources> machine_usage_samples;
+
+  SchedulerCost scheduler_cost;
+
+  double avg_jct() const;
+  double median_jct() const;
+  std::vector<double> jcts() const;
+};
+
+}  // namespace tetris::sim

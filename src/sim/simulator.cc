@@ -1,0 +1,1137 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sim/job_state.h"
+#include "sim/machine.h"
+#include "util/rng.h"
+
+namespace tetris::sim {
+
+namespace {
+
+constexpr double kSpeedEps = 1e-9;
+// Progress target slack: a task whose progress is within this of its target
+// is considered done (floating-point rounding of event times).
+constexpr double kProgressEps = 1e-9;
+// Cap on distinct shuffle sources per downstream split; real shuffles read
+// from every map machine, but the heaviest sources dominate bandwidth.
+constexpr std::size_t kMaxShuffleSources = 8;
+// Cap on candidate tasks scanned per (group, machine) probe when hunting
+// for the best-locality task.
+constexpr std::size_t kMaxLocalityScan = 24;
+
+struct Event {
+  enum class Type { kArrival, kFinish, kHeartbeat, kTimeline, kActivity };
+  SimTime time = 0;
+  long seq = 0;  // FIFO tie-break for equal times
+  Type type = Type::kHeartbeat;
+  int a = 0;   // arrival: job id; finish: task uid; activity: index
+  long b = 0;  // finish: generation; activity: 1=start, 0=stop
+};
+
+struct EventLater {
+  bool operator()(const Event& x, const Event& y) const {
+    if (x.time != y.time) return x.time > y.time;
+    return x.seq > y.seq;
+  }
+};
+
+struct TaskLoc {
+  JobId job;
+  int stage;
+  int index;
+};
+
+struct EstFactors {
+  Resources demand = Resources::uniform(1.0);
+  double duration = 1.0;
+};
+
+class Simulator;
+
+// Demand-estimate scaling and per-task extra runtime state the scheduler
+// bookkeeping needs (kept out of job_state.h to keep that header lean).
+struct TaskBookkeeping {
+  Resources est_local;
+  std::vector<RemoteLeg> est_remote;
+};
+
+class Simulator {
+ public:
+  Simulator(const SimConfig& config, const Workload& workload);
+  SimResult run(Scheduler& scheduler);
+
+ private:
+  friend class ContextImpl;
+  class ContextImpl;
+
+  // ---- setup ----
+  void init_states(const Workload& workload);
+  void push(Event e) {
+    e.seq = next_seq_++;
+    events_.push(e);
+  }
+
+  // ---- event handlers ----
+  void on_arrival(JobId job);
+  void on_finish(int uid, long generation);
+  void on_heartbeat(Scheduler& scheduler);
+  void on_timeline();
+  void on_activity(int index, bool start);
+
+  // ---- task lifecycle ----
+  TaskState& task_at(int uid) {
+    const TaskLoc& l = locs_[static_cast<std::size_t>(uid)];
+    return jobs_[static_cast<std::size_t>(l.job)]
+        .stages[static_cast<std::size_t>(l.stage)]
+        .tasks[static_cast<std::size_t>(l.index)];
+  }
+  const TaskState& task_at(int uid) const {
+    return const_cast<Simulator*>(this)->task_at(uid);
+  }
+  void start_task(const Probe& probe);
+  void complete_task(int uid, bool failed);
+  void materialize_stage(JobState& job, int stage_index);
+  void make_stage_runnable(JobState& job, int stage_index);
+  void add_runnable(StageState& stage, int task_index);
+  static void remove_runnable(StageState& stage, int task_index);
+
+  // ---- rate recomputation ----
+  void mark_dirty(MachineId m);
+  void refresh_dirty();
+  void update_progress(TaskState& t);
+  double compute_speed(const TaskState& t) const;
+  double target_progress(const TaskState& t) const {
+    return t.will_fail ? t.fail_at_progress : 1.0;
+  }
+
+  // ---- estimation / tracker ----
+  // Adds rack-uplink legs for cross-rack remote reads (no-op with rack
+  // modeling disabled).
+  void add_rack_legs(MachineId host, PlacementDemand& pd) const;
+  EstFactors est_factors(const JobState& job, int stage_index) const;
+  Resources tracker_available(MachineId m) const;
+
+  void run_pass(Scheduler& scheduler);
+  void sample_fairness(double dt);
+
+  // ---- members ----
+  SimConfig config_;
+  InterferenceModel interference_;
+  std::vector<Machine> machines_;  // real machines, then rack uplinks
+  int num_real_machines_ = 0;
+  std::vector<Resources> alloc_est_;  // scheduler-visible allocations
+  std::vector<int> hosted_count_;
+  Resources cluster_capacity_;
+  Resources avg_capacity_;
+  Resources max_capacity_;  // component-wise max over machines
+
+  std::vector<JobState> jobs_;
+  std::vector<TaskLoc> locs_;
+  std::vector<TaskBookkeeping> books_;
+  std::unordered_map<long, EstFactors> noise_factors_;  // key: job<<20|stage
+  std::unordered_set<int> profiled_templates_;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  long next_seq_ = 0;
+  SimTime now_ = 0;
+
+  std::vector<char> dirty_flags_;
+  std::vector<MachineId> dirty_list_;
+
+  Rng rng_;
+  int running_total_ = 0;
+  int completed_jobs_ = 0;
+  std::vector<TaskReport> reports_;
+
+  SimResult result_;
+};
+
+// ---------------------------------------------------------------------------
+// Scheduler-facing context
+
+class Simulator::ContextImpl final : public SchedulerContext {
+ public:
+  explicit ContextImpl(Simulator& sim) : sim_(sim) {
+    avail_.reserve(sim_.machines_.size());
+    for (std::size_t m = 0; m < sim_.machines_.size(); ++m) {
+      avail_.push_back(sim_.tracker_available(static_cast<MachineId>(m)));
+    }
+  }
+
+  SimTime now() const override { return sim_.now_; }
+  int num_machines() const override { return sim_.num_real_machines_; }
+  const Resources& capacity(MachineId m) const override {
+    return sim_.machines_[static_cast<std::size_t>(m)].capacity();
+  }
+  const Resources& cluster_capacity() const override {
+    return sim_.cluster_capacity_;
+  }
+  Resources available(MachineId m) const override {
+    return avail_[static_cast<std::size_t>(m)];
+  }
+  int running_tasks_on(MachineId m) const override {
+    return sim_.hosted_count_[static_cast<std::size_t>(m)];
+  }
+
+  std::vector<GroupView> runnable_groups() const override;
+  std::vector<JobView> active_jobs() const override;
+  std::vector<GroupView> imminent_groups() const override;
+  Probe probe(const GroupRef& group, MachineId machine) const override;
+  bool place(const Probe& probe) override;
+  std::vector<RunningTaskView> running_tasks() const override;
+  bool preempt(int task_uid) override;
+  std::vector<TaskReport> take_reports() override {
+    return std::exchange(sim_.reports_, {});
+  }
+
+  long placements = 0;
+
+ private:
+  // Representative estimated per-task demand for a stage (local view).
+  void fill_group_estimates(const JobState& job, int stage_index,
+                            GroupView& view) const;
+
+  Simulator& sim_;
+  std::vector<Resources> avail_;
+};
+
+std::vector<GroupView> Simulator::ContextImpl::runnable_groups() const {
+  std::vector<GroupView> out;
+  for (const auto& job : sim_.jobs_) {
+    if (!job.arrived || job.complete()) continue;
+    for (int s = 0; s < static_cast<int>(job.stages.size()); ++s) {
+      const StageState& stage = job.stages[static_cast<std::size_t>(s)];
+      if (stage.runnable <= 0) continue;
+      GroupView v;
+      v.ref = {job.id, s};
+      v.runnable = stage.runnable;
+      v.running = stage.running;
+      v.finished = stage.finished;
+      v.total = stage.total();
+      for (int idx : stage.runnable_indices) {
+        const auto& task = stage.tasks[static_cast<std::size_t>(idx)];
+        if (task.runnable_since >= 0) {
+          v.longest_wait =
+              std::max(v.longest_wait, sim_.now_ - task.runnable_since);
+        }
+      }
+      fill_group_estimates(job, s, v);
+      out.push_back(std::move(v));
+    }
+  }
+  // Flag stages that feed other stages.
+  for (auto& v : out) {
+    const auto& job = sim_.jobs_[static_cast<std::size_t>(v.ref.job)];
+    for (const auto& st : job.stages) {
+      if (std::find(st.deps.begin(), st.deps.end(), v.ref.stage) !=
+          st.deps.end()) {
+        v.has_dependents = true;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<GroupView> Simulator::ContextImpl::imminent_groups() const {
+  std::vector<GroupView> out;
+  for (const auto& job : sim_.jobs_) {
+    if (!job.arrived || job.complete()) continue;
+    for (int s = 0; s < static_cast<int>(job.stages.size()); ++s) {
+      const StageState& stage = job.stages[static_cast<std::size_t>(s)];
+      if (stage.unfinished_deps == 0) continue;  // runnable or running
+      // Imminent iff every dependency stage is fully placed (no runnable
+      // or blocked tasks left) — only running tasks gate the barrier.
+      double eta = 0;
+      bool imminent = true;
+      for (int d : stage.deps) {
+        const StageState& dep = job.stages[static_cast<std::size_t>(d)];
+        if (dep.done()) continue;
+        if (dep.runnable > 0 || dep.running + dep.finished < dep.total()) {
+          imminent = false;
+          break;
+        }
+        for (const auto& task : dep.tasks) {
+          if (task.status != TaskStatus::kRunning) continue;
+          if (task.speed <= 0 || task.placement.duration <= 0) {
+            imminent = false;
+            break;
+          }
+          const double remaining =
+              (1.0 - task.progress) * task.placement.duration / task.speed;
+          eta = std::max(eta,
+                         task.progress_updated_at + remaining - sim_.now_);
+        }
+        if (!imminent) break;
+      }
+      if (!imminent) continue;
+      GroupView v;
+      v.ref = {job.id, s};
+      v.total = stage.total();
+      v.eta = std::max(0.0, eta);
+      fill_group_estimates(job, s, v);
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+void Simulator::ContextImpl::fill_group_estimates(const JobState& job,
+                                                  int stage_index,
+                                                  GroupView& view) const {
+  const StageState& stage = job.stages[static_cast<std::size_t>(stage_index)];
+  // Representative: the first runnable task (tasks of a stage are
+  // statistically similar, §4.1).
+  const TaskState* rep = nullptr;
+  for (const auto& t : stage.tasks) {
+    if (t.status == TaskStatus::kRunnable) {
+      rep = &t;
+      break;
+    }
+  }
+  if (rep == nullptr) rep = &stage.tasks.front();
+  const PlacementDemand pd = compute_local_placement(rep->spec);
+  const EstFactors f = sim_.est_factors(job, stage_index);
+  view.est_demand = pd.local;
+  for (std::size_t i = 0; i < kNumResources; ++i)
+    view.est_demand.at(i) *= f.demand.at(i);
+  // Keep group estimates placeable on the largest machine (matches the
+  // per-machine clamp in probe()), or prefilters would starve the group.
+  view.est_demand = view.est_demand.cwise_min(sim_.max_capacity_);
+  view.est_duration = pd.duration * f.duration;
+  view.est_task_work =
+      view.est_demand.normalized_by(sim_.avg_capacity_).sum() *
+      view.est_duration;
+}
+
+std::vector<JobView> Simulator::ContextImpl::active_jobs() const {
+  std::vector<JobView> out;
+  for (const auto& job : sim_.jobs_) {
+    if (!job.arrived || job.complete()) continue;
+    JobView v;
+    v.id = job.id;
+    v.arrival = job.arrival;
+    v.template_id = job.template_id;
+    v.queue = job.queue;
+    v.total_tasks = job.total_tasks;
+    v.finished_tasks = job.finished_tasks;
+    v.running_tasks = job.running_tasks;
+    v.current_alloc = job.current_alloc;
+    for (int s = 0; s < static_cast<int>(job.stages.size()); ++s) {
+      const StageState& stage = job.stages[static_cast<std::size_t>(s)];
+      v.runnable_tasks += stage.runnable;
+      const int remaining = stage.total() - stage.finished;
+      if (remaining == 0) continue;
+      GroupView g;
+      fill_group_estimates(job, s, g);
+      v.remaining_work += g.est_task_work * remaining;
+    }
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+Probe Simulator::ContextImpl::probe(const GroupRef& group,
+                                    MachineId machine) const {
+  Probe p;
+  p.group = group;
+  p.machine = machine;
+  if (group.job < 0 || group.job >= static_cast<int>(sim_.jobs_.size()))
+    return p;
+  const JobState& job = sim_.jobs_[static_cast<std::size_t>(group.job)];
+  if (group.stage < 0 || group.stage >= static_cast<int>(job.stages.size()))
+    return p;
+  const StageState& stage = job.stages[static_cast<std::size_t>(group.stage)];
+
+  // Best-locality candidate among runnable tasks (bounded scan).
+  int best = -1;
+  double best_frac = -1;
+  const std::size_t scan =
+      std::min(stage.runnable_indices.size(), kMaxLocalityScan);
+  for (std::size_t i = 0; i < scan; ++i) {
+    const int idx = stage.runnable_indices[i];
+    const TaskState& t = stage.tasks[static_cast<std::size_t>(idx)];
+    const double frac = local_fraction(t.spec, machine);
+    if (frac > best_frac) {
+      best_frac = frac;
+      best = idx;
+    }
+    if (best_frac >= 1.0) break;
+  }
+  if (best < 0) return p;
+
+  const TaskState& task = stage.tasks[static_cast<std::size_t>(best)];
+  PlacementDemand pd = compute_placement(
+      task.spec, machine, static_cast<unsigned long long>(task.uid));
+  sim_.add_rack_legs(machine, pd);
+  const EstFactors f = sim_.est_factors(job, group.stage);
+
+  p.valid = true;
+  p.task_index = best;
+  p.demand = pd.local;
+  for (std::size_t i = 0; i < kNumResources; ++i)
+    p.demand.at(i) *= f.demand.at(i);
+  // An over-estimate must never exceed the whole machine, or the task
+  // could become permanently unplaceable.
+  p.demand = p.demand.cwise_min(
+      sim_.machines_[static_cast<std::size_t>(machine)].capacity());
+  p.remote.reserve(pd.remote.size());
+  for (const auto& leg : pd.remote) {
+    RemoteLeg est{leg.machine, leg.disk_read * f.demand[Resource::kDiskRead],
+                  leg.net_out * f.demand[Resource::kNetOut],
+                  leg.net_in * f.demand[Resource::kNetIn]};
+    // As with the local clamp above: a demand beyond the path's capacity
+    // (e.g. an oversubscribed rack uplink) would make the task permanently
+    // unplaceable; it is admitted at full path rate and just runs slower.
+    const Resources& leg_cap =
+        sim_.machines_[static_cast<std::size_t>(leg.machine)].capacity();
+    est.disk_read = std::min(est.disk_read, leg_cap[Resource::kDiskRead]);
+    est.net_out = std::min(est.net_out, leg_cap[Resource::kNetOut]);
+    est.net_in = std::min(est.net_in, leg_cap[Resource::kNetIn]);
+    p.remote.push_back(est);
+  }
+  p.duration = pd.duration * f.duration;
+  p.local_fraction = best_frac;
+  p.task_work =
+      p.demand.normalized_by(sim_.avg_capacity_).sum() * p.duration;
+  return p;
+}
+
+bool Simulator::ContextImpl::place(const Probe& probe) {
+  if (!probe.valid) return false;
+  if (probe.machine < 0 ||
+      probe.machine >= static_cast<int>(sim_.machines_.size()))
+    return false;
+  JobState& job = sim_.jobs_[static_cast<std::size_t>(probe.group.job)];
+  StageState& stage = job.stages[static_cast<std::size_t>(probe.group.stage)];
+  TaskState& task = stage.tasks[static_cast<std::size_t>(probe.task_index)];
+  if (task.status != TaskStatus::kRunnable) return false;
+
+  sim_.start_task(probe);
+  ++placements;
+
+  // Keep this pass's availability view in sync with the commitment.
+  auto& avail = avail_[static_cast<std::size_t>(probe.machine)];
+  avail = (avail - probe.demand).max_zero();
+  for (const auto& leg : probe.remote) {
+    auto& ravail = avail_[static_cast<std::size_t>(leg.machine)];
+    const Resources r = leg_resources(leg);
+    ravail = (ravail - r).max_zero();
+  }
+  return true;
+}
+
+std::vector<RunningTaskView> Simulator::ContextImpl::running_tasks() const {
+  std::vector<RunningTaskView> out;
+  for (const auto& job : sim_.jobs_) {
+    if (!job.arrived || job.complete()) continue;
+    for (std::size_t s = 0; s < job.stages.size(); ++s) {
+      for (const auto& task : job.stages[s].tasks) {
+        if (task.status != TaskStatus::kRunning) continue;
+        RunningTaskView v;
+        v.uid = task.uid;
+        v.job = job.id;
+        v.stage = static_cast<int>(s);
+        v.machine = task.host;
+        v.started = task.start_time;
+        v.demand = sim_.books_[static_cast<std::size_t>(task.uid)].est_local;
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+bool Simulator::ContextImpl::preempt(int task_uid) {
+  if (task_uid < 0 || task_uid >= static_cast<int>(sim_.locs_.size()))
+    return false;
+  TaskState& task = sim_.task_at(task_uid);
+  if (task.status != TaskStatus::kRunning) return false;
+  // Capture the booked estimates before the requeue clears the machines,
+  // so this pass's availability view regains what the kill frees.
+  const auto book = sim_.books_[static_cast<std::size_t>(task_uid)];
+  const MachineId host = task.host;
+  sim_.complete_task(task_uid, /*failed=*/true);
+  auto& havail = avail_[static_cast<std::size_t>(host)];
+  havail = (havail + book.est_local)
+               .cwise_min(sim_.machines_[static_cast<std::size_t>(host)]
+                              .capacity());
+  for (const auto& leg : book.est_remote) {
+    auto& ravail = avail_[static_cast<std::size_t>(leg.machine)];
+    ravail = (ravail + leg_resources(leg))
+                 .cwise_min(
+                     sim_.machines_[static_cast<std::size_t>(leg.machine)]
+                         .capacity());
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Simulator
+
+Simulator::Simulator(const SimConfig& config, const Workload& workload)
+    : config_(config), interference_(config.interference), rng_(config.seed) {
+  const auto caps = config_.resolved_capacities();
+  if (caps.empty()) throw std::invalid_argument("no machines configured");
+  if (config_.machines_per_rack < 0 ||
+      (config_.machines_per_rack > 0 && config_.rack_oversubscription <= 0)) {
+    throw std::invalid_argument("bad rack topology configuration");
+  }
+  num_real_machines_ = static_cast<int>(caps.size());
+  machines_.reserve(caps.size());
+  for (std::size_t m = 0; m < caps.size(); ++m) {
+    machines_.emplace_back(static_cast<MachineId>(m), caps[m],
+                           &interference_);
+    cluster_capacity_ += caps[m];
+    max_capacity_ = max_capacity_.cwise_max(caps[m]);
+  }
+  avg_capacity_ = cluster_capacity_ / static_cast<double>(caps.size());
+
+  // Rack uplinks as pseudo-machines past the real ids: they carry only
+  // network capacity and appear in remote legs, never as placement hosts.
+  if (config_.machines_per_rack > 0) {
+    const int k = config_.machines_per_rack;
+    const int racks = (num_real_machines_ + k - 1) / k;
+    for (int rack = 0; rack < racks; ++rack) {
+      Resources uplink;
+      for (int m = rack * k;
+           m < std::min((rack + 1) * k, num_real_machines_); ++m) {
+        uplink[Resource::kNetIn] += caps[static_cast<std::size_t>(m)]
+                                        [Resource::kNetIn];
+        uplink[Resource::kNetOut] += caps[static_cast<std::size_t>(m)]
+                                         [Resource::kNetOut];
+      }
+      uplink /= config_.rack_oversubscription;
+      machines_.emplace_back(
+          static_cast<MachineId>(num_real_machines_ + rack), uplink,
+          &interference_);
+    }
+  }
+
+  alloc_est_.assign(machines_.size(), Resources{});
+  hosted_count_.assign(machines_.size(), 0);
+  dirty_flags_.assign(machines_.size(), 0);
+
+  if (auto msg = validate(workload); !msg.empty())
+    throw std::invalid_argument("invalid workload: " + msg);
+  // Replica locations must refer to machines this cluster actually has
+  // (a workload generated for a bigger cluster would index out of range).
+  const auto n = static_cast<MachineId>(caps.size());
+  for (const auto& job : workload.jobs) {
+    for (const auto& stage : job.stages) {
+      for (const auto& task : stage.tasks) {
+        for (const auto& split : task.inputs) {
+          for (MachineId r : split.replicas) {
+            if (r < 0 || r >= n) {
+              throw std::invalid_argument(
+                  "invalid workload: job '" + job.name +
+                  "' references replica machine " + std::to_string(r) +
+                  " but the cluster has " + std::to_string(n) + " machines");
+            }
+          }
+        }
+      }
+    }
+  }
+  init_states(workload);
+}
+
+void Simulator::init_states(const Workload& workload) {
+  jobs_.reserve(workload.jobs.size());
+  int uid = 0;
+  for (std::size_t j = 0; j < workload.jobs.size(); ++j) {
+    const JobSpec& spec = workload.jobs[j];
+    JobState job;
+    job.id = static_cast<JobId>(j);
+    job.name = spec.name;
+    job.template_id = spec.template_id;
+    job.queue = spec.queue;
+    job.arrival = spec.arrival;
+    job.stages.reserve(spec.stages.size());
+    for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+      const StageSpec& sspec = spec.stages[s];
+      StageState stage;
+      stage.deps = sspec.deps;
+      stage.unfinished_deps = static_cast<int>(sspec.deps.size());
+      stage.tasks.reserve(sspec.tasks.size());
+      for (std::size_t t = 0; t < sspec.tasks.size(); ++t) {
+        TaskState task;
+        task.spec = sspec.tasks[t];
+        task.uid = uid++;
+        task.index_in_stage = static_cast<int>(t);
+        locs_.push_back({job.id, static_cast<int>(s), static_cast<int>(t)});
+        stage.tasks.push_back(std::move(task));
+      }
+      job.total_tasks += stage.total();
+      job.stages.push_back(std::move(stage));
+    }
+    jobs_.push_back(std::move(job));
+  }
+  books_.assign(static_cast<std::size_t>(uid), TaskBookkeeping{});
+
+  if (config_.estimation.mode == EstimationMode::kNoisy) {
+    Rng noise = rng_.fork();
+    for (const auto& job : jobs_) {
+      for (std::size_t s = 0; s < job.stages.size(); ++s) {
+        EstFactors f;
+        for (std::size_t i = 0; i < kNumResources; ++i) {
+          f.demand.at(i) =
+              noise.lognormal_mean_cov(1.0, config_.estimation.noise_cov);
+        }
+        f.duration =
+            noise.lognormal_mean_cov(1.0, config_.estimation.noise_cov);
+        noise_factors_[(static_cast<long>(job.id) << 20) |
+                       static_cast<long>(s)] = f;
+      }
+    }
+  }
+}
+
+void Simulator::add_rack_legs(MachineId host, PlacementDemand& pd) const {
+  const int k = config_.machines_per_rack;
+  if (k <= 0) return;
+  const int host_rack = host / k;
+  // Aggregate cross-rack outbound per source rack; everything inbound
+  // funnels through the host rack's uplink.
+  std::unordered_map<int, double> outbound;
+  double inbound = 0;
+  for (const auto& leg : pd.remote) {
+    if (leg.machine >= num_real_machines_) continue;  // already an uplink
+    const int src_rack = leg.machine / k;
+    if (src_rack == host_rack) continue;
+    outbound[src_rack] += leg.net_out;
+    inbound += leg.net_out;
+  }
+  for (const auto& [rack, rate] : outbound) {
+    if (rate <= 0) continue;
+    RemoteLeg leg;
+    leg.machine = num_real_machines_ + rack;
+    leg.net_out = rate;
+    pd.remote.push_back(leg);
+  }
+  if (inbound > 0) {
+    RemoteLeg leg;
+    leg.machine = num_real_machines_ + host_rack;
+    leg.net_in = inbound;
+    pd.remote.push_back(leg);
+  }
+}
+
+EstFactors Simulator::est_factors(const JobState& job,
+                                  int stage_index) const {
+  switch (config_.estimation.mode) {
+    case EstimationMode::kOracle:
+      return {};
+    case EstimationMode::kNoisy: {
+      const auto it = noise_factors_.find(
+          (static_cast<long>(job.id) << 20) | static_cast<long>(stage_index));
+      return it != noise_factors_.end() ? it->second : EstFactors{};
+    }
+    case EstimationMode::kLearnedProfile: {
+      if (job.template_id >= 0 && profiled_templates_.contains(job.template_id))
+        return {};
+      const StageState& stage =
+          job.stages[static_cast<std::size_t>(stage_index)];
+      if (stage.finished >= config_.estimation.profile_after) return {};
+      EstFactors f;
+      f.demand = Resources::uniform(config_.estimation.overestimate_factor);
+      // Memory over-estimation is the norm (slot sizing); keep cpu share
+      // over-estimated too. Duration over-estimated alike.
+      f.duration = config_.estimation.overestimate_factor;
+      return f;
+    }
+  }
+  return {};
+}
+
+Resources Simulator::tracker_available(MachineId m) const {
+  const auto& machine = machines_[static_cast<std::size_t>(m)];
+  if (config_.tracker == TrackerMode::kAllocation) {
+    return (machine.capacity() - alloc_est_[static_cast<std::size_t>(m)])
+        .max_zero();
+  }
+  // Usage view: observed consumption plus a decaying ramp-up allowance for
+  // recently started tasks hosted here (§4.1).
+  Resources used = machine.usage();
+  for (const auto& [uid, demand] : machine.demands()) {
+    const TaskState& t = task_at(uid);
+    if (t.host != m) continue;  // remote leg, not a hosted task
+    const double age = now_ - t.start_time;
+    if (age >= config_.ramp_up_window) continue;
+    const double scale = config_.ramp_allowance_fraction *
+                         (1.0 - age / config_.ramp_up_window);
+    used += books_[static_cast<std::size_t>(uid)].est_local * scale;
+  }
+  return (machine.capacity() - used).max_zero();
+}
+
+SimResult Simulator::run(Scheduler& scheduler) {
+  result_ = SimResult{};
+  result_.scheduler_name = scheduler.name();
+
+  // Activities first: an activity starting at time t must be visible to a
+  // scheduling pass at the same instant (FIFO tie-break is by push order).
+  for (std::size_t i = 0; i < config_.activities.size(); ++i) {
+    const auto& act = config_.activities[i];
+    push({act.start, 0, Event::Type::kActivity, static_cast<int>(i), 1});
+    push({act.end, 0, Event::Type::kActivity, static_cast<int>(i), 0});
+  }
+  for (const auto& job : jobs_) {
+    push({job.arrival, 0, Event::Type::kArrival, job.id, 0});
+  }
+  push({0, 0, Event::Type::kHeartbeat, 0, 0});
+  if (config_.collect_timeline) {
+    push({0, 0, Event::Type::kTimeline, 0, 0});
+  }
+
+  while (!events_.empty() &&
+         completed_jobs_ < static_cast<int>(jobs_.size())) {
+    const Event e = events_.top();
+    events_.pop();
+    if (e.time > config_.max_time) break;
+    now_ = std::max(now_, e.time);
+    switch (e.type) {
+      case Event::Type::kArrival:
+        on_arrival(e.a);
+        // Coalesce simultaneous arrivals into one scheduling pass, or the
+        // first job of a batch would grab the whole cluster before its
+        // peers even exist (fairness would be meaningless at t=0).
+        while (!events_.empty() &&
+               events_.top().type == Event::Type::kArrival &&
+               events_.top().time <= now_) {
+          on_arrival(events_.top().a);
+          events_.pop();
+        }
+        run_pass(scheduler);
+        break;
+      case Event::Type::kFinish:
+        on_finish(e.a, e.b);
+        break;
+      case Event::Type::kHeartbeat:
+        on_heartbeat(scheduler);
+        break;
+      case Event::Type::kTimeline:
+        on_timeline();
+        break;
+      case Event::Type::kActivity:
+        on_activity(e.a, e.b != 0);
+        break;
+    }
+  }
+
+  result_.completed = completed_jobs_ == static_cast<int>(jobs_.size());
+  result_.end_time = now_;
+  SimTime first_arrival = jobs_.empty() ? 0 : jobs_.front().arrival;
+  SimTime last_finish = 0;
+  for (const auto& job : jobs_) {
+    first_arrival = std::min(first_arrival, job.arrival);
+    JobRecord rec;
+    rec.id = job.id;
+    rec.name = job.name;
+    rec.template_id = job.template_id;
+    rec.arrival = job.arrival;
+    rec.finish = job.finish;
+    rec.total_tasks = job.total_tasks;
+    rec.unfairness_integral = job.unfairness_integral;
+    result_.jobs.push_back(std::move(rec));
+    if (job.finish >= 0) last_finish = std::max(last_finish, job.finish);
+  }
+  result_.makespan = last_finish - first_arrival;
+  return result_;
+}
+
+void Simulator::on_arrival(JobId job_id) {
+  JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+  job.arrived = true;
+  for (int s = 0; s < static_cast<int>(job.stages.size()); ++s) {
+    if (job.stages[static_cast<std::size_t>(s)].unfinished_deps == 0) {
+      make_stage_runnable(job, s);
+    }
+  }
+}
+
+void Simulator::make_stage_runnable(JobState& job, int stage_index) {
+  materialize_stage(job, stage_index);
+  StageState& stage = job.stages[static_cast<std::size_t>(stage_index)];
+  for (auto& task : stage.tasks) {
+    if (task.status == TaskStatus::kBlocked) {
+      task.status = TaskStatus::kRunnable;
+      stage.runnable++;
+      add_runnable(stage, task.index_in_stage);
+    }
+  }
+}
+
+void Simulator::add_runnable(StageState& stage, int task_index) {
+  TaskState& task = stage.tasks[static_cast<std::size_t>(task_index)];
+  task.runnable_pos = static_cast<int>(stage.runnable_indices.size());
+  task.runnable_since = now_;
+  stage.runnable_indices.push_back(task_index);
+}
+
+void Simulator::remove_runnable(StageState& stage, int task_index) {
+  TaskState& task = stage.tasks[static_cast<std::size_t>(task_index)];
+  const int pos = task.runnable_pos;
+  const int last = stage.runnable_indices.back();
+  stage.runnable_indices[static_cast<std::size_t>(pos)] = last;
+  stage.tasks[static_cast<std::size_t>(last)].runnable_pos = pos;
+  stage.runnable_indices.pop_back();
+  task.runnable_pos = -1;
+}
+
+void Simulator::materialize_stage(JobState& job, int stage_index) {
+  StageState& stage = job.stages[static_cast<std::size_t>(stage_index)];
+  if (stage.materialized) return;
+  stage.materialized = true;
+  for (auto& task : stage.tasks) {
+    bool needs_rewrite = false;
+    for (const auto& split : task.spec.inputs) {
+      if (split.from_stage >= 0) {
+        needs_rewrite = true;
+        break;
+      }
+    }
+    if (!needs_rewrite) continue;
+    std::vector<InputSplit> rewritten;
+    rewritten.reserve(task.spec.inputs.size());
+    for (const auto& split : task.spec.inputs) {
+      if (split.from_stage < 0) {
+        rewritten.push_back(split);
+        continue;
+      }
+      auto sources =
+          job.stages[static_cast<std::size_t>(split.from_stage)]
+              .output_locations;
+      if (sources.empty() || split.bytes <= 0) {
+        // Upstream produced nothing: the bytes become generated input.
+        InputSplit gen;
+        gen.bytes = split.bytes;
+        rewritten.push_back(std::move(gen));
+        continue;
+      }
+      std::sort(sources.begin(), sources.end(),
+                [](const auto& x, const auto& y) { return x.second > y.second; });
+      if (sources.size() > kMaxShuffleSources)
+        sources.resize(kMaxShuffleSources);
+      double total = 0;
+      for (const auto& [m, b] : sources) total += b;
+      for (const auto& [m, b] : sources) {
+        if (b <= 0) continue;
+        InputSplit piece;
+        piece.bytes = split.bytes * (b / total);
+        piece.replicas = {m};
+        rewritten.push_back(std::move(piece));
+      }
+    }
+    task.spec.inputs = std::move(rewritten);
+  }
+}
+
+void Simulator::start_task(const Probe& probe) {
+  JobState& job = jobs_[static_cast<std::size_t>(probe.group.job)];
+  StageState& stage = job.stages[static_cast<std::size_t>(probe.group.stage)];
+  TaskState& task = stage.tasks[static_cast<std::size_t>(probe.task_index)];
+
+  PlacementDemand pd = compute_placement(
+      task.spec, probe.machine, static_cast<unsigned long long>(task.uid));
+  add_rack_legs(probe.machine, pd);
+
+  task.status = TaskStatus::kRunning;
+  task.host = probe.machine;
+  task.start_time = now_;
+  task.attempts++;
+  task.placement = pd;
+  task.progress = 0;
+  task.progress_updated_at = now_;
+  task.speed = 0;
+  task.generation++;
+  task.will_fail = config_.task_failure_prob > 0 &&
+                   rng_.bernoulli(config_.task_failure_prob);
+  task.fail_at_progress = task.will_fail ? rng_.uniform(0.05, 0.95) : 1.0;
+
+  auto& book = books_[static_cast<std::size_t>(task.uid)];
+  book.est_local = probe.demand;
+  book.est_remote = probe.remote;
+
+  machines_[static_cast<std::size_t>(probe.machine)].add_demand(task.uid,
+                                                                pd.local);
+  mark_dirty(probe.machine);
+  alloc_est_[static_cast<std::size_t>(probe.machine)] += book.est_local;
+  hosted_count_[static_cast<std::size_t>(probe.machine)]++;
+  for (const auto& leg : pd.remote) {
+    const Resources r = leg_resources(leg);
+    machines_[static_cast<std::size_t>(leg.machine)].add_demand(task.uid, r);
+    mark_dirty(leg.machine);
+  }
+  for (const auto& leg : book.est_remote) {
+    const Resources r = leg_resources(leg);
+    alloc_est_[static_cast<std::size_t>(leg.machine)] += r;
+  }
+
+  remove_runnable(stage, probe.task_index);
+  stage.runnable--;
+  stage.running++;
+  job.running_tasks++;
+  job.current_alloc += pd.local;
+  running_total_++;
+}
+
+void Simulator::on_finish(int uid, long generation) {
+  TaskState& task = task_at(uid);
+  if (task.status != TaskStatus::kRunning || task.generation != generation)
+    return;  // stale prediction
+  update_progress(task);
+  complete_task(uid, /*failed=*/task.will_fail);
+}
+
+void Simulator::complete_task(int uid, bool failed) {
+  const TaskLoc& loc = locs_[static_cast<std::size_t>(uid)];
+  JobState& job = jobs_[static_cast<std::size_t>(loc.job)];
+  StageState& stage = job.stages[static_cast<std::size_t>(loc.stage)];
+  TaskState& task = stage.tasks[static_cast<std::size_t>(loc.index)];
+  auto& book = books_[static_cast<std::size_t>(uid)];
+
+  machines_[static_cast<std::size_t>(task.host)].remove_demand(uid);
+  mark_dirty(task.host);
+  alloc_est_[static_cast<std::size_t>(task.host)] =
+      (alloc_est_[static_cast<std::size_t>(task.host)] - book.est_local)
+          .max_zero();
+  hosted_count_[static_cast<std::size_t>(task.host)]--;
+  for (const auto& leg : task.placement.remote) {
+    machines_[static_cast<std::size_t>(leg.machine)].remove_demand(uid);
+    mark_dirty(leg.machine);
+  }
+  for (const auto& leg : book.est_remote) {
+    const Resources r = leg_resources(leg);
+    alloc_est_[static_cast<std::size_t>(leg.machine)] =
+        (alloc_est_[static_cast<std::size_t>(leg.machine)] - r).max_zero();
+  }
+
+  stage.running--;
+  job.running_tasks--;
+  job.current_alloc = (job.current_alloc - task.placement.local).max_zero();
+  running_total_--;
+
+  if (failed) {
+    task.status = TaskStatus::kRunnable;
+    task.host = -1;
+    task.progress = 0;
+    task.generation++;
+    stage.runnable++;
+    add_runnable(stage, loc.index);
+    refresh_dirty();
+    return;
+  }
+
+  task.status = TaskStatus::kFinished;
+  task.finish_time = now_;
+  task.generation++;
+  stage.finished++;
+  job.finished_tasks++;
+
+  if (task.spec.output_bytes > 0) {
+    auto it = std::find_if(
+        stage.output_locations.begin(), stage.output_locations.end(),
+        [&](const auto& p) { return p.first == task.host; });
+    if (it == stage.output_locations.end()) {
+      stage.output_locations.emplace_back(task.host, task.spec.output_bytes);
+    } else {
+      it->second += task.spec.output_bytes;
+    }
+  }
+
+  if (config_.collect_task_records) {
+    TaskRecord rec;
+    rec.job = job.id;
+    rec.stage = loc.stage;
+    rec.index = loc.index;
+    rec.host = task.host;
+    rec.start = task.start_time;
+    rec.finish = now_;
+    rec.attempts = task.attempts;
+    rec.local_fraction = local_fraction(task.spec, task.host);
+    rec.natural_duration = task.placement.duration;
+    result_.tasks.push_back(std::move(rec));
+  }
+  TaskReport report;
+  report.job = job.id;
+  report.stage = loc.stage;
+  report.template_id = job.template_id;
+  report.peak_usage = task.placement.local;
+  report.duration = now_ - task.start_time;
+  reports_.push_back(std::move(report));
+
+  if (stage.done()) {
+    for (int s2 = 0; s2 < static_cast<int>(job.stages.size()); ++s2) {
+      StageState& other = job.stages[static_cast<std::size_t>(s2)];
+      if (std::find(other.deps.begin(), other.deps.end(), loc.stage) ==
+          other.deps.end())
+        continue;
+      if (--other.unfinished_deps == 0) make_stage_runnable(job, s2);
+    }
+  }
+  if (job.complete()) {
+    job.finish = now_;
+    completed_jobs_++;
+    if (job.template_id >= 0) profiled_templates_.insert(job.template_id);
+  }
+  refresh_dirty();
+}
+
+void Simulator::mark_dirty(MachineId m) {
+  if (!dirty_flags_[static_cast<std::size_t>(m)]) {
+    dirty_flags_[static_cast<std::size_t>(m)] = 1;
+    dirty_list_.push_back(m);
+  }
+}
+
+void Simulator::update_progress(TaskState& t) {
+  if (t.status != TaskStatus::kRunning) return;
+  const double dt = now_ - t.progress_updated_at;
+  if (dt > 0 && t.speed > 0 && t.placement.duration > 0) {
+    t.progress =
+        std::min(1.0, t.progress + dt * t.speed / t.placement.duration);
+  }
+  t.progress_updated_at = now_;
+}
+
+double Simulator::compute_speed(const TaskState& t) const {
+  const auto& host = machines_[static_cast<std::size_t>(t.host)];
+  double speed = host.grant_ratio(t.placement.local);
+  for (const auto& leg : t.placement.remote) {
+    const Resources r = leg_resources(leg);
+    speed = std::min(
+        speed,
+        machines_[static_cast<std::size_t>(leg.machine)].grant_ratio(r));
+  }
+  return speed;
+}
+
+void Simulator::refresh_dirty() {
+  if (dirty_list_.empty()) return;
+  // Collect the tasks touching any dirty machine.
+  std::unordered_set<int> affected;
+  for (MachineId m : dirty_list_) {
+    for (const auto& [uid, demand] : machines_[static_cast<std::size_t>(m)]
+                                         .demands()) {
+      affected.insert(uid);
+    }
+    dirty_flags_[static_cast<std::size_t>(m)] = 0;
+  }
+  dirty_list_.clear();
+
+  for (int uid : affected) {
+    TaskState& t = task_at(uid);
+    if (t.status != TaskStatus::kRunning) continue;
+    update_progress(t);
+    const double new_speed = compute_speed(t);
+    const bool first_prediction = t.speed == 0 && t.progress == 0;
+    if (!first_prediction &&
+        std::abs(new_speed - t.speed) <= kSpeedEps * std::max(1.0, t.speed))
+      continue;
+    t.speed = new_speed;
+    t.generation++;
+    if (t.speed <= kSpeedEps) continue;  // stalled; re-predicted later
+    const double target = target_progress(t);
+    const double remaining =
+        std::max(0.0, target - t.progress + kProgressEps) *
+        t.placement.duration / t.speed;
+    push({now_ + remaining, 0, Event::Type::kFinish, uid, t.generation});
+  }
+}
+
+void Simulator::on_heartbeat(Scheduler& scheduler) {
+  if (config_.collect_fairness) sample_fairness(config_.heartbeat_period);
+  run_pass(scheduler);
+  push({now_ + config_.heartbeat_period, 0, Event::Type::kHeartbeat, 0, 0});
+}
+
+void Simulator::sample_fairness(double dt) {
+  // A job's purported fair allocation is an equal split among the jobs
+  // that currently demand resources (running or runnable tasks); jobs
+  // blocked at a barrier demand nothing and are excluded, matching how a
+  // fair scheduler would treat them.
+  const auto demanding = [](const JobState& job) {
+    if (!job.arrived || job.complete()) return false;
+    if (job.running_tasks > 0) return true;
+    for (const auto& stage : job.stages) {
+      if (stage.runnable > 0) return true;
+    }
+    return false;
+  };
+  int active = 0;
+  for (const auto& job : jobs_) {
+    if (demanding(job)) active++;
+  }
+  if (active == 0) return;
+  const double fair = 1.0 / static_cast<double>(active);
+  for (auto& job : jobs_) {
+    if (!demanding(job)) continue;
+    const double share =
+        job.current_alloc.normalized_by(cluster_capacity_).max_component();
+    job.unfairness_integral += dt * (share - fair) / fair;
+  }
+}
+
+void Simulator::run_pass(Scheduler& scheduler) {
+  ContextImpl ctx(*this);
+  const auto t0 = std::chrono::steady_clock::now();
+  scheduler.schedule(ctx);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  result_.scheduler_cost.invocations++;
+  result_.scheduler_cost.placements += ctx.placements;
+  result_.scheduler_cost.total_seconds += secs;
+  result_.scheduler_cost.max_seconds =
+      std::max(result_.scheduler_cost.max_seconds, secs);
+  refresh_dirty();
+}
+
+void Simulator::on_timeline() {
+  TimelineSample sample;
+  sample.time = now_;
+  sample.running_tasks = running_total_;
+  Resources usage;
+  for (int mi = 0; mi < num_real_machines_; ++mi) {
+    const auto& machine = machines_[static_cast<std::size_t>(mi)];
+    const Resources u = machine.usage();
+    usage += u;
+    const Resources frac = u.normalized_by(machine.capacity());
+    for (std::size_t i = 0; i < kNumResources; ++i) {
+      result_.machine_usage_samples[i].push_back(frac.at(i));
+    }
+  }
+  const Resources frac = usage.normalized_by(cluster_capacity_);
+  for (std::size_t i = 0; i < kNumResources; ++i)
+    sample.utilization[i] = frac.at(i);
+  result_.timeline.push_back(sample);
+  push({now_ + config_.timeline_period, 0, Event::Type::kTimeline, 0, 0});
+}
+
+void Simulator::on_activity(int index, bool start) {
+  const auto& act = config_.activities[static_cast<std::size_t>(index)];
+  auto& machine = machines_[static_cast<std::size_t>(act.machine)];
+  machine.set_external_usage(start ? act.usage : Resources{});
+  mark_dirty(act.machine);
+  refresh_dirty();
+}
+
+}  // namespace
+
+SimResult simulate(const SimConfig& config, const Workload& workload,
+                   Scheduler& scheduler) {
+  Simulator sim(config, workload);
+  return sim.run(scheduler);
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,27 @@
+// The discrete-event cluster simulator.
+//
+// Continuous-time, flow-level model: running tasks register demand rates on
+// the machines they touch (host + remote input sources); each machine
+// shares contended resources proportionally with interference-degraded
+// capacity (machine.h); a task's speed is the minimum grant ratio across
+// its footprint and its finish time is re-predicted whenever that changes
+// (lazy event invalidation). Scheduling passes run at heartbeats and job
+// arrivals, so schedulers learn about freed resources in batches, exactly
+// like the prototype in paper §4.4.
+#pragma once
+
+#include <memory>
+
+#include "sim/config.h"
+#include "sim/result.h"
+#include "sim/scheduler.h"
+#include "sim/spec.h"
+
+namespace tetris::sim {
+
+// Runs `workload` under `scheduler` and returns the measured result.
+// Throws std::invalid_argument on malformed workloads.
+SimResult simulate(const SimConfig& config, const Workload& workload,
+                   Scheduler& scheduler);
+
+}  // namespace tetris::sim

@@ -1,0 +1,109 @@
+#include "sim/spec.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tetris::sim {
+
+std::size_t Workload::total_tasks() const {
+  std::size_t n = 0;
+  for (const auto& job : jobs)
+    for (const auto& stage : job.stages) n += stage.tasks.size();
+  return n;
+}
+
+namespace {
+
+// Detects cycles among stage deps with an iterative three-color DFS.
+bool has_cycle(const JobSpec& job) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(job.stages.size(), Color::kWhite);
+  std::vector<std::pair<int, std::size_t>> stack;  // (stage, next dep index)
+  for (int root = 0; root < static_cast<int>(job.stages.size()); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    stack.emplace_back(root, 0);
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [s, di] = stack.back();
+      const auto& deps = job.stages[s].deps;
+      if (di < deps.size()) {
+        const int d = deps[di++];
+        if (color[d] == Color::kGray) return true;
+        if (color[d] == Color::kWhite) {
+          color[d] = Color::kGray;
+          stack.emplace_back(d, 0);
+        }
+      } else {
+        color[s] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string validate(const JobSpec& job) {
+  std::ostringstream err;
+  const int n = static_cast<int>(job.stages.size());
+  if (n == 0) return "job '" + job.name + "' has no stages";
+  if (job.arrival < 0) return "job '" + job.name + "' has negative arrival";
+  for (int s = 0; s < n; ++s) {
+    const auto& stage = job.stages[s];
+    if (stage.tasks.empty()) {
+      err << "job '" << job.name << "' stage " << s << " has no tasks";
+      return err.str();
+    }
+    for (int d : stage.deps) {
+      if (d < 0 || d >= n || d == s) {
+        err << "job '" << job.name << "' stage " << s << " has bad dep " << d;
+        return err.str();
+      }
+    }
+    for (std::size_t t = 0; t < stage.tasks.size(); ++t) {
+      const auto& task = stage.tasks[t];
+      if (task.cpu_cycles < 0 || task.output_bytes < 0) {
+        err << "job '" << job.name << "' stage " << s << " task " << t
+            << " has negative work";
+        return err.str();
+      }
+      if (task.peak_cores < 0 || task.peak_mem < 0 || task.max_io_bw <= 0) {
+        err << "job '" << job.name << "' stage " << s << " task " << t
+            << " has negative demand";
+        return err.str();
+      }
+      if (task.cpu_cycles > 0 && task.peak_cores <= 0) {
+        err << "job '" << job.name << "' stage " << s << " task " << t
+            << " has compute work but no cores";
+        return err.str();
+      }
+      for (const auto& split : task.inputs) {
+        if (split.bytes < 0) {
+          err << "job '" << job.name << "' stage " << s << " task " << t
+              << " has negative split bytes";
+          return err.str();
+        }
+        if (split.from_stage >= 0 &&
+            std::find(stage.deps.begin(), stage.deps.end(),
+                      split.from_stage) == stage.deps.end()) {
+          err << "job '" << job.name << "' stage " << s << " task " << t
+              << " reads stage " << split.from_stage
+              << " which is not a dependency";
+          return err.str();
+        }
+      }
+    }
+  }
+  if (has_cycle(job)) return "job '" + job.name + "' has a dependency cycle";
+  return "";
+}
+
+std::string validate(const Workload& workload) {
+  for (const auto& job : workload.jobs) {
+    if (auto msg = validate(job); !msg.empty()) return msg;
+  }
+  return "";
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,52 @@
+#include "tracker/resource_tracker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tetris::tracker {
+
+ResourceTracker::ResourceTracker(Resources capacity, TrackerConfig config)
+    : capacity_(capacity), config_(config) {
+  if (config_.ramp_up_window <= 0)
+    throw std::invalid_argument("ramp_up_window must be > 0");
+  if (config_.usage_ewma_alpha <= 0 || config_.usage_ewma_alpha > 1)
+    throw std::invalid_argument("usage_ewma_alpha must be in (0, 1]");
+}
+
+void ResourceTracker::on_task_start(int task_id,
+                                    const Resources& expected_demand,
+                                    SimTime now) {
+  live_[task_id] = LiveTask{expected_demand, now};
+}
+
+void ResourceTracker::on_task_finish(int task_id) { live_.erase(task_id); }
+
+void ResourceTracker::observe_usage(const Resources& usage, SimTime now) {
+  (void)now;
+  const Resources clamped = usage.clamped_to(capacity_);
+  if (!have_observation_) {
+    smoothed_usage_ = clamped;
+    have_observation_ = true;
+    return;
+  }
+  const double a = config_.usage_ewma_alpha;
+  smoothed_usage_ = clamped * a + smoothed_usage_ * (1.0 - a);
+}
+
+TrackerReport ResourceTracker::report(SimTime now) const {
+  Resources charged = smoothed_usage_;
+  for (const auto& [id, task] : live_) {
+    const double age = now - task.started;
+    if (age >= config_.ramp_up_window) continue;
+    const double scale = config_.ramp_allowance_fraction *
+                         (1.0 - std::max(0.0, age) / config_.ramp_up_window);
+    charged += task.expected * scale;
+  }
+  charged = charged.clamped_to(capacity_);
+  TrackerReport r;
+  r.charged_usage = charged;
+  r.available = (capacity_ - charged).max_zero();
+  return r;
+}
+
+}  // namespace tetris::tracker

@@ -1,0 +1,74 @@
+// Per-node resource tracker (paper §4.1, §4.3).
+//
+// The tracker process on every node observes aggregate resource usage from
+// OS counters and periodically reports to the cluster-wide resource
+// manager. Reports carry (a) smoothed observed usage, (b) a ramp-up
+// allowance for freshly launched tasks (their usage has not peaked yet, so
+// raw counters under-state what is committed), and (c) external activity
+// such as data ingestion or evacuation, which the scheduler must steer
+// around.
+//
+// The simulator inlines equivalent logic on its fast path
+// (Simulator::tracker_available); this class is the reference, standalone
+// implementation with its own tests, and is what a real deployment would
+// run per node.
+#pragma once
+
+#include <unordered_map>
+
+#include "util/resources.h"
+#include "util/units.h"
+
+namespace tetris::tracker {
+
+struct TrackerConfig {
+  // Window over which a new task's allowance decays to zero (paper: ~10 s).
+  double ramp_up_window = 10.0;
+  // Initial allowance as a fraction of the task's expected demand.
+  double ramp_allowance_fraction = 0.5;
+  // EWMA smoothing factor for usage observations in (0, 1]; 1 = no
+  // smoothing. Smoothing keeps transient dips from triggering
+  // over-placement.
+  double usage_ewma_alpha = 0.5;
+};
+
+struct TrackerReport {
+  // Smoothed observed usage, padded with ramp-up allowances.
+  Resources charged_usage;
+  // capacity - charged_usage, floored at zero: what the scheduler may
+  // hand out on this node.
+  Resources available;
+};
+
+class ResourceTracker {
+ public:
+  ResourceTracker(Resources capacity, TrackerConfig config = {});
+
+  const Resources& capacity() const { return capacity_; }
+
+  // Registers a task launch with its expected (estimated) demand, starting
+  // its ramp-up allowance clock.
+  void on_task_start(int task_id, const Resources& expected_demand,
+                     SimTime now);
+  void on_task_finish(int task_id);
+
+  // Feeds an observation of the node's aggregate usage (OS counters).
+  void observe_usage(const Resources& usage, SimTime now);
+
+  // Builds the report the node manager heartbeats to the RM.
+  TrackerReport report(SimTime now) const;
+
+ private:
+  Resources capacity_;
+  TrackerConfig config_;
+  Resources smoothed_usage_;
+  bool have_observation_ = false;
+
+  struct LiveTask {
+    Resources expected;
+    SimTime started;
+  };
+  std::unordered_map<int, LiveTask> live_;
+};
+
+}  // namespace tetris::tracker

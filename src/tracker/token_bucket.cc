@@ -1,0 +1,54 @@
+#include "tracker/token_bucket.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tetris::tracker {
+
+TokenBucket::TokenBucket(double rate, double burst, SimTime start)
+    : rate_(rate), burst_(burst), tokens_(burst), last_(start) {
+  if (rate < 0 || burst <= 0)
+    throw std::invalid_argument("token bucket needs rate >= 0, burst > 0");
+}
+
+void TokenBucket::refill(SimTime now) {
+  if (now < last_) throw std::logic_error("token bucket time went backwards");
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_));
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(double tokens, SimTime now) {
+  refill(now);
+  if (tokens_ + 1e-12 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+SimTime TokenBucket::earliest(double tokens, SimTime now) const {
+  const double have =
+      std::min(burst_, tokens_ + rate_ * std::max(0.0, now - last_));
+  // Oversized requests wait until the bucket is full, then overdraw.
+  const double need = std::min(tokens, burst_);
+  if (have + 1e-12 >= need) return now;
+  if (rate_ <= 0) return now + 1e18;  // effectively never
+  return now + (need - have) / rate_;
+}
+
+SimTime TokenBucket::consume(double tokens, SimTime now) {
+  const SimTime when = earliest(tokens, now);
+  refill(std::max(now, when));
+  tokens_ -= tokens;  // may go negative for oversized requests (overdraw)
+  return when;
+}
+
+void TokenBucket::set_rate(double rate, SimTime now) {
+  if (rate < 0) throw std::invalid_argument("negative rate");
+  refill(now);
+  rate_ = rate;
+}
+
+double TokenBucket::tokens(SimTime now) const {
+  return std::min(burst_, tokens_ + rate_ * std::max(0.0, now - last_));
+}
+
+}  // namespace tetris::tracker

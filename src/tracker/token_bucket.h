@@ -1,0 +1,51 @@
+// Token-bucket rate enforcement (paper §4.2).
+//
+// Tasks' actual resource use may not conform to their allocations (a TCP
+// flow ramps to whatever the link gives it). Tetris intercepts filesystem
+// and network calls and routes each through a token bucket: the call
+// proceeds if enough tokens remain and is queued otherwise. Tokens arrive
+// at the allocated rate; bucket size bounds burst; each call deducts its
+// size.
+#pragma once
+
+#include "util/units.h"
+
+namespace tetris::tracker {
+
+class TokenBucket {
+ public:
+  // `rate` tokens/sec, `burst` max accumulated tokens. The bucket starts
+  // full (a fresh task may burst immediately).
+  TokenBucket(double rate, double burst, SimTime start = 0);
+
+  // Attempts to consume `tokens` at time `now`; returns true and deducts on
+  // success. Calls must have non-decreasing `now`.
+  bool try_consume(double tokens, SimTime now);
+
+  // Earliest time at which `tokens` could be consumed (now if available).
+  // Requests larger than the burst size complete once the bucket is full
+  // and then overdraw it (a single oversized I/O cannot be split).
+  SimTime earliest(double tokens, SimTime now) const;
+
+  // Blocking-style consume: advances to earliest(), deducts (possibly
+  // overdrawing for oversized requests), and returns the completion time.
+  SimTime consume(double tokens, SimTime now);
+
+  // Re-allocation: the scheduler may change a task's allotted rate
+  // mid-flight. Accrued tokens are settled at the old rate first.
+  void set_rate(double rate, SimTime now);
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+  double tokens(SimTime now) const;
+
+ private:
+  void refill(SimTime now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_ = 0;
+};
+
+}  // namespace tetris::tracker

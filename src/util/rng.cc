@@ -1,0 +1,59 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace tetris {
+
+double Rng::lognormal_mean_cov(double mean, double cov) {
+  if (mean <= 0) throw std::invalid_argument("lognormal mean must be > 0");
+  if (cov < 0) throw std::invalid_argument("lognormal cov must be >= 0");
+  if (cov == 0) return mean;
+  // For LogNormal(mu, sigma): E = exp(mu + sigma^2/2),
+  // CoV^2 = exp(sigma^2) - 1  =>  sigma^2 = ln(1 + CoV^2).
+  const double sigma2 = std::log1p(cov * cov);
+  const double mu = std::log(mean) - sigma2 / 2.0;
+  return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(engine_);
+}
+
+double Rng::bounded_pareto(double lo, double hi, double alpha) {
+  if (!(lo > 0) || hi <= lo) throw std::invalid_argument("bad pareto bounds");
+  if (alpha <= 0) throw std::invalid_argument("pareto alpha must be > 0");
+  const double u = uniform(0.0, 1.0);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  // Inverse CDF of the bounded Pareto.
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+std::size_t Rng::weighted_pick(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("empty weights");
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0) throw std::invalid_argument("weights must sum to > 0");
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  if (k >= n) return idx;
+  // Partial Fisher-Yates: only the first k positions need shuffling.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(
+                                                        n - i - 1)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace tetris

@@ -1,0 +1,44 @@
+// Minimal fixed-width table and CSV emitters so every bench binary prints
+// the paper's tables in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tetris {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with the given precision.
+  Table& add_row_values(const std::vector<double>& values, int precision = 2);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Aligned, human-readable rendering.
+  std::string to_string() const;
+  // RFC-ish CSV with quoting of separators/quotes.
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (helper for table cells).
+std::string format_double(double v, int precision = 2);
+// Formats a ratio as a percentage string, e.g. 0.283 -> "28.3%".
+std::string format_percent(double ratio, int precision = 1);
+
+// Writes `content` to `path`, creating parent directories. Returns false on
+// failure (benches treat output files as best-effort, results also go to
+// stdout).
+bool write_file(const std::string& path, const std::string& content);
+
+}  // namespace tetris

@@ -1,0 +1,25 @@
+// Unit helpers. The simulator works in base units throughout: seconds,
+// bytes, bytes/sec, cores. Configs and benches use these constants so the
+// code never hard-codes magic conversion factors.
+#pragma once
+
+namespace tetris {
+
+// Simulation time, in seconds. Continuous-time discrete-event simulation;
+// double precision is ample for hour-scale horizons.
+using SimTime = double;
+
+inline constexpr double kKB = 1024.0;
+inline constexpr double kMB = 1024.0 * kKB;
+inline constexpr double kGB = 1024.0 * kMB;
+inline constexpr double kTB = 1024.0 * kGB;
+
+// Network rates are quoted in bits/sec in specs; bytes/sec internally.
+inline constexpr double kGbps = 1e9 / 8.0;
+inline constexpr double kMbps = 1e6 / 8.0;
+
+inline constexpr double kSeconds = 1.0;
+inline constexpr double kMinutes = 60.0;
+inline constexpr double kHours = 3600.0;
+
+}  // namespace tetris

@@ -1,0 +1,163 @@
+#include "workload/bing.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+
+namespace tetris::workload {
+
+Resources bing_machine() {
+  return Resources::full(16, 48 * kGB, 4 * 80 * kMB, 4 * 80 * kMB,
+                         10 * kGbps, 10 * kGbps);
+}
+
+namespace {
+
+double clamp(double x, double lo, double hi) { return std::clamp(x, lo, hi); }
+
+std::vector<sim::MachineId> random_replicas(Rng& rng, int num_machines,
+                                            int replication) {
+  const auto k = static_cast<std::size_t>(
+      std::min(replication, std::max(1, num_machines)));
+  const auto idx = rng.sample_without_replacement(
+      static_cast<std::size_t>(num_machines), k);
+  std::vector<sim::MachineId> out;
+  out.reserve(idx.size());
+  for (auto i : idx) out.push_back(static_cast<sim::MachineId>(i));
+  return out;
+}
+
+struct StageProfile {
+  double cores;
+  double mem;
+  double io_bw;
+  double compute_seconds;
+  double selectivity;
+};
+
+StageProfile draw_profile(Rng& rng) {
+  StageProfile p;
+  p.cores = clamp(rng.lognormal_mean_cov(1.5, 1.2), 0.25, 8);
+  p.mem = clamp(rng.lognormal_mean_cov(3 * kGB, 1.4), 256 * kMB, 16 * kGB);
+  p.io_bw = clamp(rng.lognormal_mean_cov(80 * kMB, 1.5), 15 * kMB, 300 * kMB);
+  p.compute_seconds = clamp(rng.lognormal_mean_cov(15.0, 1.0), 2.0, 150.0);
+  p.selectivity = clamp(rng.lognormal_mean_cov(0.5, 0.9), 0.01, 2.0);
+  return p;
+}
+
+// Builds one stage of `n` tasks consuming `input_bytes` in total, either
+// from DFS blocks (`deps` empty) or shuffled from the given upstreams.
+sim::StageSpec make_stage(Rng& rng, const BingConfig& cfg,
+                          const StageProfile& prof, int n,
+                          double input_bytes, std::vector<int> deps,
+                          double* output_bytes) {
+  sim::StageSpec stage;
+  stage.deps = std::move(deps);
+  stage.tasks.reserve(static_cast<std::size_t>(n));
+  *output_bytes = 0;
+  for (int t = 0; t < n; ++t) {
+    sim::TaskSpec task;
+    const double jitter = rng.lognormal_mean_cov(1.0, 0.25);
+    task.peak_cores = clamp(prof.cores * jitter, 0.25, 16);
+    task.peak_mem = clamp(prof.mem * jitter, 128 * kMB, 24 * kGB);
+    task.max_io_bw = clamp(prof.io_bw * jitter, 10 * kMB, 400 * kMB);
+    task.cpu_cycles = task.peak_cores * prof.compute_seconds * jitter;
+    const double in = std::min(input_bytes / n, 2 * kGB);
+    if (in > 0) {
+      if (stage.deps.empty()) {
+        sim::InputSplit split;
+        split.bytes = in;
+        split.replicas =
+            random_replicas(rng, cfg.num_machines, cfg.dfs_replication);
+        task.inputs.push_back(std::move(split));
+      } else {
+        // Equal share of every upstream's output.
+        for (int d : stage.deps) {
+          sim::InputSplit split;
+          split.bytes = in / static_cast<double>(stage.deps.size());
+          split.from_stage = d;
+          task.inputs.push_back(std::move(split));
+        }
+      }
+    }
+    task.output_bytes =
+        in * prof.selectivity * rng.lognormal_mean_cov(1.0, 0.5);
+    *output_bytes += task.output_bytes;
+    stage.tasks.push_back(std::move(task));
+  }
+  return stage;
+}
+
+}  // namespace
+
+sim::Workload make_bing_workload(const BingConfig& config) {
+  Rng rng(config.seed);
+  sim::Workload workload;
+  workload.jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+
+  for (int j = 0; j < config.num_jobs; ++j) {
+    sim::JobSpec job;
+    job.name = "bing-" + std::to_string(j);
+    job.arrival = config.arrival_window > 0
+                      ? rng.uniform(0.0, config.arrival_window)
+                      : 0.0;
+    if (rng.bernoulli(config.recurring_fraction)) {
+      job.template_id = static_cast<int>(
+          rng.uniform_int(0, std::max(0, config.num_templates - 1)));
+    }
+    job.queue = static_cast<int>(rng.uniform_int(0, 2));
+
+    const int depth = static_cast<int>(
+        rng.uniform_int(config.min_depth, config.max_depth));
+    const auto stage_size = [&] {
+      return std::max(
+          1, static_cast<int>(rng.lognormal_mean_cov(
+                                  config.mean_stage_tasks, 1.0) *
+                                  config.task_scale +
+                              0.5));
+    };
+
+    // Root stage reads DFS.
+    double out_bytes = 0;
+    const double root_input =
+        stage_size() * config.dfs_block_bytes * rng.uniform(0.5, 1.5);
+    job.stages.push_back(make_stage(rng, config, draw_profile(rng),
+                                    stage_size(), root_input, {},
+                                    &out_bytes));
+    // Frontier of stages whose outputs the next layer consumes.
+    std::vector<int> frontier = {0};
+    double frontier_bytes = out_bytes;
+
+    for (int level = 1; level < depth; ++level) {
+      if (frontier.size() == 1 && rng.bernoulli(config.diamond_fraction) &&
+          level + 1 < depth) {
+        // Diamond: two parallel stages both reading the frontier.
+        std::vector<int> next_frontier;
+        double next_bytes = 0;
+        for (int side = 0; side < 2; ++side) {
+          double side_out = 0;
+          job.stages.push_back(make_stage(rng, config, draw_profile(rng),
+                                          stage_size(), frontier_bytes / 2,
+                                          frontier, &side_out));
+          next_frontier.push_back(static_cast<int>(job.stages.size()) - 1);
+          next_bytes += side_out;
+        }
+        frontier = std::move(next_frontier);
+        frontier_bytes = next_bytes;
+      } else {
+        // Chain (or fan-in when the frontier holds a diamond's two sides).
+        double stage_out = 0;
+        job.stages.push_back(make_stage(rng, config, draw_profile(rng),
+                                        stage_size(), frontier_bytes,
+                                        frontier, &stage_out));
+        frontier = {static_cast<int>(job.stages.size()) - 1};
+        frontier_bytes = stage_out;
+      }
+    }
+    workload.jobs.push_back(std::move(job));
+  }
+  return workload;
+}
+
+}  // namespace tetris::workload

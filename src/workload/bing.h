@@ -1,0 +1,46 @@
+// Bing-like synthetic trace generator (paper Table 1: the Cosmos cluster
+// runs Scope scripts that compile to DAGs of "large depth", on 10 Gbps
+// links with core oversubscription < 2).
+//
+// Compared to the Facebook generator, jobs here are deeper DAGs — chains
+// with occasional fan-out/fan-in (diamonds) — with smaller stages, which
+// exercises the barrier hint and the future-demand lookahead far more than
+// map/reduce does.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/spec.h"
+#include "util/units.h"
+
+namespace tetris::workload {
+
+struct BingConfig {
+  int num_jobs = 150;
+  int num_machines = 50;
+  double arrival_window = 1500.0;
+  double task_scale = 1.0;
+  std::uint64_t seed = 11;
+
+  // DAG depth distribution: uniform in [min_depth, max_depth].
+  int min_depth = 3;
+  int max_depth = 8;
+  // Probability that a stage fans out into a diamond (two parallel stages
+  // joined downstream) instead of continuing the chain.
+  double diamond_fraction = 0.25;
+
+  // Stage sizes: heavy-tailed but smaller than map/reduce fan-outs.
+  double mean_stage_tasks = 20;
+  double recurring_fraction = 0.5;  // Scope jobs are heavily recurring
+  int num_templates = 25;
+
+  double dfs_block_bytes = 256 * kMB;
+  int dfs_replication = 3;
+};
+
+sim::Workload make_bing_workload(const BingConfig& config);
+
+// The Bing machine profile: 10 Gbps NICs, larger memory.
+Resources bing_machine();
+
+}  // namespace tetris::workload

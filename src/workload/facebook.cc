@@ -1,0 +1,152 @@
+#include "workload/facebook.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/rng.h"
+
+namespace tetris::workload {
+
+namespace {
+
+double clamp(double x, double lo, double hi) { return std::clamp(x, lo, hi); }
+
+std::vector<sim::MachineId> random_replicas(Rng& rng, int num_machines,
+                                            int replication) {
+  const auto k = static_cast<std::size_t>(
+      std::min(replication, std::max(1, num_machines)));
+  const auto idx = rng.sample_without_replacement(
+      static_cast<std::size_t>(num_machines), k);
+  std::vector<sim::MachineId> out;
+  out.reserve(idx.size());
+  for (auto i : idx) out.push_back(static_cast<sim::MachineId>(i));
+  return out;
+}
+
+// Demand profile of one stage: mean values that individual tasks jitter
+// around.
+struct StageProfile {
+  double cores;
+  double mem;
+  double io_bw;
+  double compute_seconds;  // busy time on the task's peak_cores
+  double selectivity;
+};
+
+StageProfile draw_profile(Rng& rng, const FacebookConfig& cfg) {
+  StageProfile p;
+  p.cores = clamp(rng.lognormal_mean_cov(cfg.cpu_mean, cfg.cpu_cov), 0.25, 8);
+  p.mem = clamp(rng.lognormal_mean_cov(cfg.mem_mean, cfg.mem_cov), 128 * kMB,
+                16 * kGB);
+  p.io_bw =
+      clamp(rng.lognormal_mean_cov(cfg.io_mean, cfg.io_cov), 15 * kMB,
+            200 * kMB);
+  // Compute time per stage is drawn independently of the I/O profile,
+  // giving near-zero cpu-vs-io correlation (Table 2). Bounded so no single
+  // task's compute dominates the cluster makespan.
+  p.compute_seconds = clamp(rng.lognormal_mean_cov(18.0, 1.2), 2.0, 200.0);
+  p.selectivity = clamp(rng.lognormal_mean_cov(0.6, 1.0), 0.01, 3.0);
+  return p;
+}
+
+sim::TaskSpec make_task(Rng& rng, const FacebookConfig& cfg,
+                        const StageProfile& prof, double input_bytes) {
+  const auto jitter = [&] {
+    return rng.lognormal_mean_cov(1.0, cfg.within_stage_cov);
+  };
+  sim::TaskSpec t;
+  t.peak_cores = clamp(prof.cores * jitter(), 0.25, 16);
+  t.peak_mem = clamp(prof.mem * jitter(), 64 * kMB, 24 * kGB);
+  t.max_io_bw = clamp(prof.io_bw * jitter(), 10 * kMB, 400 * kMB);
+  t.cpu_cycles = t.peak_cores * prof.compute_seconds * jitter();
+  // Output selectivity varies widely even within a stage (different keys
+  // compress differently); the wide draw also keeps written bytes nearly
+  // uncorrelated with read bytes, as in the paper's Table 2.
+  t.output_bytes =
+      input_bytes * prof.selectivity * rng.lognormal_mean_cov(1.0, 0.8);
+  return t;
+}
+
+}  // namespace
+
+sim::Workload make_facebook_workload(const FacebookConfig& config) {
+  Rng rng(config.seed);
+  sim::Workload workload;
+  workload.jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+
+  for (int j = 0; j < config.num_jobs; ++j) {
+    // Heavy-tailed job sizes: many small jobs, a few with thousands of
+    // tasks.
+    const int maps = std::max(
+        1, static_cast<int>(rng.bounded_pareto(8.0, 3000.0, 1.15) *
+                                config.task_scale +
+                            0.5));
+    int depth = 2;
+    if (rng.bernoulli(config.deep_dag_fraction))
+      depth = static_cast<int>(rng.uniform_int(3, 4));
+
+    sim::JobSpec job;
+    job.name = "fb-" + std::to_string(j);
+    job.arrival = config.arrival_window > 0
+                      ? rng.uniform(0.0, config.arrival_window)
+                      : 0.0;
+    if (rng.bernoulli(config.recurring_fraction)) {
+      job.template_id = static_cast<int>(
+          rng.uniform_int(0, std::max(0, config.num_templates - 1)));
+    }
+
+    // Stage 0: map over DFS blocks.
+    const StageProfile map_prof = draw_profile(rng, config);
+    sim::StageSpec map_stage;
+    map_stage.name = "stage0";
+    map_stage.tasks.reserve(static_cast<std::size_t>(maps));
+    double stage_output = 0;
+    for (int t = 0; t < maps; ++t) {
+      const double input =
+          clamp(rng.lognormal_mean_cov(config.dfs_block_bytes, 1.2), 16 * kMB,
+                1 * kGB);
+      sim::TaskSpec task = make_task(rng, config, map_prof, input);
+      sim::InputSplit split;
+      split.bytes = input;
+      split.replicas =
+          random_replicas(rng, config.num_machines, config.dfs_replication);
+      task.inputs.push_back(std::move(split));
+      stage_output += task.output_bytes;
+      map_stage.tasks.push_back(std::move(task));
+    }
+    job.stages.push_back(std::move(map_stage));
+
+    // Downstream stages: shuffles over the previous stage's output.
+    int prev_tasks = maps;
+    for (int s = 1; s < depth; ++s) {
+      const StageProfile prof = draw_profile(rng, config);
+      const int n = std::max(
+          1, static_cast<int>(prev_tasks * rng.uniform(0.05, 0.35) + 0.5));
+      sim::StageSpec stage;
+      stage.name = "stage" + std::to_string(s);
+      stage.deps = {s - 1};
+      stage.tasks.reserve(static_cast<std::size_t>(n));
+      double next_output = 0;
+      for (int t = 0; t < n; ++t) {
+        // Bounded per-task shuffle input: inflating chains otherwise grow
+        // without limit and a single reducer dwarfs the cluster.
+        const double input = std::min(stage_output / n, 2 * kGB);
+        sim::TaskSpec task = make_task(rng, config, prof, input);
+        sim::InputSplit split;
+        split.bytes = input;
+        split.from_stage = s - 1;
+        task.inputs.push_back(std::move(split));
+        next_output += task.output_bytes;
+        stage.tasks.push_back(std::move(task));
+      }
+      stage_output = next_output;
+      prev_tasks = n;
+      job.stages.push_back(std::move(stage));
+    }
+    workload.jobs.push_back(std::move(job));
+  }
+  return workload;
+}
+
+}  // namespace tetris::workload

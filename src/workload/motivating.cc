@@ -1,0 +1,76 @@
+#include "workload/motivating.h"
+
+#include <string>
+
+#include "util/units.h"
+
+namespace tetris::workload {
+
+namespace {
+
+constexpr double kT = 20.0;  // seconds per "t" unit
+
+sim::JobSpec make_job(const std::string& name, int maps, double map_cores,
+                      double map_mem) {
+  sim::JobSpec job;
+  job.name = name;
+  job.arrival = 0;
+
+  // Map tasks: pure compute for exactly t, no I/O.
+  sim::StageSpec map_stage;
+  map_stage.name = "map";
+  for (int i = 0; i < maps; ++i) {
+    sim::TaskSpec task;
+    task.peak_cores = map_cores;
+    task.peak_mem = map_mem;
+    task.cpu_cycles = map_cores * kT;
+    // Map output feeds the reduces; sized so each reduce pulls ~1 Gbps
+    // for t seconds: 3 reduces x (1 Gbps x t) bytes in total.
+    task.output_bytes = 3.0 * (1 * kGbps) * kT / maps;
+    task.max_io_bw = 400 * kMB;  // writes never bottleneck the example
+    map_stage.tasks.push_back(std::move(task));
+  }
+
+  // Reduce tasks: network-bound shuffle, negligible CPU/memory.
+  sim::StageSpec red_stage;
+  red_stage.name = "reduce";
+  red_stage.deps = {0};
+  for (int i = 0; i < 3; ++i) {
+    sim::TaskSpec task;
+    // "Very little CPU or memory" — zero keeps the paper's clean packing.
+    task.peak_cores = 0;
+    task.peak_mem = 0.25 * kGB;
+    task.cpu_cycles = 0;
+    sim::InputSplit split;
+    split.bytes = (1 * kGbps) * kT;
+    split.from_stage = 0;
+    task.inputs.push_back(std::move(split));
+    task.output_bytes = 0;
+    task.max_io_bw = 1 * kGbps;  // can drive a full NIC
+    red_stage.tasks.push_back(std::move(task));
+  }
+
+  job.stages.push_back(std::move(map_stage));
+  job.stages.push_back(std::move(red_stage));
+  return job;
+}
+
+}  // namespace
+
+MotivatingExample make_motivating_example() {
+  MotivatingExample ex;
+  ex.t = kT;
+  ex.workload.jobs.push_back(make_job("A", 18, 1.0, 2 * kGB));
+  ex.workload.jobs.push_back(make_job("B", 6, 3.0, 1 * kGB));
+  ex.workload.jobs.push_back(make_job("C", 6, 3.0, 1 * kGB));
+
+  ex.config.num_machines = 3;
+  ex.config.machine_capacity = Resources::full(
+      6, 12 * kGB, 2 * kGbps, 2 * kGbps, 1 * kGbps, 1 * kGbps);
+  ex.config.heartbeat_period = 0.5;
+  ex.config.collect_timeline = true;
+  ex.config.timeline_period = kT / 4;
+  return ex;
+}
+
+}  // namespace tetris::workload

@@ -1,0 +1,128 @@
+#include "workload/suite.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+#include "util/rng.h"
+
+namespace tetris::workload {
+
+namespace {
+
+struct JobClass {
+  const char* name;
+  int map_tasks;        // before task_scale
+  double selectivity;   // output bytes : input bytes at the map stage
+};
+
+// The four §5.1 classes: sizes are "couple 1000" / "100s" / "10s" of
+// tasks; ratios 1:2 inflating, 1:0.7 selective, 1:0.05 highly selective.
+constexpr std::array<JobClass, 4> kClasses = {{
+    {"large-highsel", 2000, 0.05},
+    {"medium-inflating", 400, 2.0},
+    {"medium-selective", 400, 0.7},
+    {"small-selective", 40, 0.7},
+}};
+
+std::vector<sim::MachineId> random_replicas(Rng& rng, int num_machines,
+                                            int replication) {
+  const auto k = static_cast<std::size_t>(
+      std::min(replication, std::max(1, num_machines)));
+  const auto idx = rng.sample_without_replacement(
+      static_cast<std::size_t>(num_machines), k);
+  std::vector<sim::MachineId> out;
+  out.reserve(idx.size());
+  for (auto i : idx) out.push_back(static_cast<sim::MachineId>(i));
+  return out;
+}
+
+}  // namespace
+
+sim::Workload make_suite_workload(const SuiteConfig& config) {
+  Rng rng(config.seed);
+  sim::Workload workload;
+  workload.jobs.reserve(static_cast<std::size_t>(config.num_jobs));
+
+  for (int j = 0; j < config.num_jobs; ++j) {
+    const JobClass& cls =
+        kClasses[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    const int maps = std::max(
+        1, static_cast<int>(cls.map_tasks * config.task_scale + 0.5));
+    const int reduces = std::max(1, maps / 5);
+
+    // Stage-level memory and cpu intensity (paper: stages are high-mem
+    // (4 GB) or low-mem (1 GB); high-cpu tasks compute a lot per byte and
+    // have low peak I/O demand).
+    const bool map_high_mem = rng.bernoulli(0.5);
+    const bool map_high_cpu = rng.bernoulli(0.5);
+    const bool red_high_mem = rng.bernoulli(0.5);
+    const double map_mem = (map_high_mem ? 4.0 : 1.0) * kGB;
+    const double red_mem = (red_high_mem ? 4.0 : 1.0) * kGB;
+    const double map_cycles_per_mb = map_high_cpu ? 0.15 : 0.02;
+    const double map_io_bw = (map_high_cpu ? 25.0 : 100.0) * kMB;
+    const double map_cores = map_high_cpu ? 2.0 : 1.0;
+
+    sim::JobSpec job;
+    job.name = std::string(cls.name) + "-" + std::to_string(j);
+    // Queue per workload class, as production clusters typically configure
+    // (a queue for ETL, a queue for ad-hoc analytics, ...).
+    job.queue = static_cast<int>(&cls - kClasses.data());
+    job.arrival = config.arrival_window > 0
+                      ? rng.uniform(0.0, config.arrival_window)
+                      : 0.0;
+    if (rng.bernoulli(config.recurring_fraction)) {
+      job.template_id = static_cast<int>(
+          rng.uniform_int(0, std::max(0, config.num_templates - 1)));
+    }
+
+    // Map stage: one DFS block per task.
+    sim::StageSpec map_stage;
+    map_stage.name = "map";
+    map_stage.tasks.reserve(static_cast<std::size_t>(maps));
+    double total_map_output = 0;
+    for (int t = 0; t < maps; ++t) {
+      sim::TaskSpec task;
+      const double input = config.dfs_block_bytes * rng.uniform(0.7, 1.3);
+      sim::InputSplit split;
+      split.bytes = input;
+      split.replicas =
+          random_replicas(rng, config.num_machines, config.dfs_replication);
+      task.inputs.push_back(std::move(split));
+      task.output_bytes = input * cls.selectivity;
+      total_map_output += task.output_bytes;
+      task.cpu_cycles = (input / kMB) * map_cycles_per_mb;
+      task.peak_cores = map_cores;
+      task.peak_mem = map_mem;
+      task.max_io_bw = map_io_bw;
+      map_stage.tasks.push_back(std::move(task));
+    }
+
+    // Reduce stage: shuffle the map output, write half of it back.
+    sim::StageSpec red_stage;
+    red_stage.name = "reduce";
+    red_stage.deps = {0};
+    red_stage.tasks.reserve(static_cast<std::size_t>(reduces));
+    for (int t = 0; t < reduces; ++t) {
+      sim::TaskSpec task;
+      const double shuffle_bytes = total_map_output / reduces;
+      sim::InputSplit split;
+      split.bytes = shuffle_bytes;
+      split.from_stage = 0;
+      task.inputs.push_back(std::move(split));
+      task.output_bytes = shuffle_bytes * 0.5;
+      task.cpu_cycles = (shuffle_bytes / kMB) * 0.02;
+      task.peak_cores = 1.0;
+      task.peak_mem = red_mem;
+      task.max_io_bw = 100 * kMB;
+      red_stage.tasks.push_back(std::move(task));
+    }
+
+    job.stages.push_back(std::move(map_stage));
+    job.stages.push_back(std::move(red_stage));
+    workload.jobs.push_back(std::move(job));
+  }
+  return workload;
+}
+
+}  // namespace tetris::workload

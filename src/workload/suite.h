@@ -1,0 +1,41 @@
+// The deployment workload suite of paper §5.1.
+//
+// "We constructed a workload suite of over 200 jobs by picking uniformly
+// at random from the following choices": job size x selectivity in four
+// classes (large & highly-selective, medium & inflating, medium &
+// selective, small & selective), map/reduce stages that are independently
+// high- or low-memory and high- or low-cpu (high-cpu tasks do substantial
+// computation per byte and so have low peak I/O demand), and arrival times
+// uniform over a window.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/spec.h"
+#include "util/units.h"
+
+namespace tetris::workload {
+
+struct SuiteConfig {
+  int num_jobs = 200;
+  // Machines in the target cluster; DFS input blocks get three replicas
+  // placed uniformly at random.
+  int num_machines = 50;
+  // Arrivals uniform in [0, arrival_window]; 0 = batch arrival (makespan
+  // experiments).
+  double arrival_window = 2000.0;
+  // Scales task counts so the suite fits a simulation budget; 1.0 keeps
+  // the paper's sizes (large jobs ~2000 tasks).
+  double task_scale = 1.0;
+  // Fraction of jobs that are instances of recurring templates (§4.1).
+  double recurring_fraction = 0.3;
+  int num_templates = 12;
+  std::uint64_t seed = 1;
+
+  double dfs_block_bytes = 256 * kMB;
+  int dfs_replication = 3;
+};
+
+sim::Workload make_suite_workload(const SuiteConfig& config);
+
+}  // namespace tetris::workload

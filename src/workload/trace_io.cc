@@ -1,0 +1,141 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace tetris::workload {
+
+void write_trace(std::ostream& os, const sim::Workload& workload) {
+  // Shortest round-trippable representation: replaying a written trace
+  // must reproduce bit-identical simulations.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "# tetris trace v1: " << workload.jobs.size() << " jobs, "
+     << workload.total_tasks() << " tasks\n";
+  for (const auto& job : workload.jobs) {
+    os << "job " << job.arrival << " " << job.template_id << " "
+       << job.queue << " " << job.name << "\n";
+    for (const auto& stage : job.stages) {
+      os << "stage " << (stage.name.empty() ? "-" : stage.name);
+      for (int d : stage.deps) os << " " << d;
+      os << "\n";
+      for (const auto& task : stage.tasks) {
+        os << "task " << task.cpu_cycles << " " << task.peak_cores << " "
+           << task.peak_mem << " " << task.output_bytes << " "
+           << task.max_io_bw << " " << task.inputs.size() << "\n";
+        for (const auto& split : task.inputs) {
+          os << "split " << split.bytes << " " << split.from_stage;
+          for (auto r : split.replicas) os << " " << r;
+          os << "\n";
+        }
+      }
+    }
+  }
+}
+
+std::string trace_to_string(const sim::Workload& workload) {
+  std::ostringstream os;
+  write_trace(os, workload);
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+sim::Workload read_trace(std::istream& is) {
+  sim::Workload workload;
+  sim::JobSpec* job = nullptr;
+  sim::StageSpec* stage = nullptr;
+  sim::TaskSpec* task = nullptr;
+  std::size_t pending_splits = 0;
+
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+
+    if (kind == "job") {
+      if (pending_splits > 0) fail(lineno, "job before all splits were read");
+      sim::JobSpec j;
+      ls >> j.arrival >> j.template_id >> j.queue;
+      std::getline(ls, j.name);
+      if (!ls && j.name.empty()) fail(lineno, "malformed job line");
+      while (!j.name.empty() && j.name.front() == ' ') j.name.erase(0, 1);
+      workload.jobs.push_back(std::move(j));
+      job = &workload.jobs.back();
+      stage = nullptr;
+      task = nullptr;
+    } else if (kind == "stage") {
+      if (job == nullptr) fail(lineno, "stage before any job");
+      if (pending_splits > 0)
+        fail(lineno, "stage before all splits were read");
+      sim::StageSpec s;
+      ls >> s.name;
+      if (s.name == "-") s.name.clear();
+      int dep;
+      while (ls >> dep) s.deps.push_back(dep);
+      job->stages.push_back(std::move(s));
+      stage = &job->stages.back();
+      task = nullptr;
+    } else if (kind == "task") {
+      if (stage == nullptr) fail(lineno, "task before any stage");
+      if (pending_splits > 0) fail(lineno, "task before all splits were read");
+      sim::TaskSpec t;
+      ls >> t.cpu_cycles >> t.peak_cores >> t.peak_mem >> t.output_bytes >>
+          t.max_io_bw >> pending_splits;
+      if (!ls) fail(lineno, "malformed task line");
+      stage->tasks.push_back(std::move(t));
+      task = &stage->tasks.back();
+    } else if (kind == "split") {
+      if (task == nullptr || pending_splits == 0)
+        fail(lineno, "unexpected split line");
+      sim::InputSplit split;
+      ls >> split.bytes >> split.from_stage;
+      if (!ls) fail(lineno, "malformed split line");
+      sim::MachineId r;
+      while (ls >> r) split.replicas.push_back(r);
+      task->inputs.push_back(std::move(split));
+      --pending_splits;
+    } else {
+      fail(lineno, "unknown record '" + kind + "'");
+    }
+  }
+  if (pending_splits > 0)
+    fail(lineno, "trace truncated: splits missing for last task");
+  if (auto msg = sim::validate(workload); !msg.empty())
+    throw std::runtime_error("trace semantic error: " + msg);
+  return workload;
+}
+
+sim::Workload trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+bool write_trace_file(const std::string& path,
+                      const sim::Workload& workload) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  write_trace(out, workload);
+  return static_cast<bool>(out);
+}
+
+sim::Workload read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+}  // namespace tetris::workload

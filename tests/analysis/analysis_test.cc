@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "analysis/metrics.h"
+#include "analysis/workload_analysis.h"
+#include "util/units.h"
+
+namespace tetris::analysis {
+namespace {
+
+sim::SimResult result_with_jcts(std::vector<double> jcts) {
+  sim::SimResult r;
+  for (std::size_t i = 0; i < jcts.size(); ++i) {
+    sim::JobRecord j;
+    j.id = static_cast<sim::JobId>(i);
+    j.arrival = 100;
+    j.finish = 100 + jcts[i];
+    r.jobs.push_back(j);
+  }
+  return r;
+}
+
+TEST(Metrics, ImprovementPercent) {
+  EXPECT_DOUBLE_EQ(improvement_percent(100, 80), 20);
+  EXPECT_DOUBLE_EQ(improvement_percent(100, 125), -25);
+  EXPECT_EQ(improvement_percent(0, 5), 0);
+}
+
+TEST(Metrics, PerJobImprovementsMatchById) {
+  const auto base = result_with_jcts({100, 200, 50});
+  const auto treat = result_with_jcts({50, 200, 100});
+  const auto imp = per_job_improvements(base, treat);
+  ASSERT_EQ(imp.size(), 3u);
+  EXPECT_DOUBLE_EQ(imp[0], 50);
+  EXPECT_DOUBLE_EQ(imp[1], 0);
+  EXPECT_DOUBLE_EQ(imp[2], -100);
+}
+
+TEST(Metrics, PerJobImprovementsSkipUnfinished) {
+  auto base = result_with_jcts({100, 200});
+  auto treat = result_with_jcts({50, 100});
+  treat.jobs[1].finish = -1;  // unfinished under treatment
+  const auto imp = per_job_improvements(base, treat);
+  EXPECT_EQ(imp.size(), 1u);
+}
+
+TEST(Metrics, ReductionsUseResultAggregates) {
+  auto base = result_with_jcts({100, 300});
+  base.makespan = 500;
+  auto treat = result_with_jcts({50, 150});
+  treat.makespan = 250;
+  EXPECT_DOUBLE_EQ(makespan_reduction(base, treat), 50);
+  EXPECT_DOUBLE_EQ(avg_jct_reduction(base, treat), 50);
+  EXPECT_DOUBLE_EQ(median_jct_reduction(base, treat), 50);
+}
+
+TEST(Metrics, SlowdownStatsCountOnlySlowedJobs) {
+  const auto fair = result_with_jcts({100, 100, 100, 100});
+  const auto treat = result_with_jcts({50, 100, 150, 200});
+  const auto s = slowdown_stats(fair, treat);
+  EXPECT_EQ(s.jobs_compared, 4);
+  EXPECT_DOUBLE_EQ(s.fraction_slowed, 0.5);
+  EXPECT_DOUBLE_EQ(s.avg_slowdown_percent, 75);   // (50 + 100) / 2
+  EXPECT_DOUBLE_EQ(s.max_slowdown_percent, 100);
+}
+
+TEST(Metrics, SlowdownToleranceSuppressesNoise) {
+  const auto fair = result_with_jcts({100});
+  const auto treat = result_with_jcts({101});
+  EXPECT_EQ(slowdown_stats(fair, treat, 0.02).fraction_slowed, 0);
+  EXPECT_EQ(slowdown_stats(fair, treat, 0.005).fraction_slowed, 1);
+}
+
+TEST(Metrics, SlowdownOfEmptyResultsIsZero) {
+  const sim::SimResult empty;
+  const auto s = slowdown_stats(empty, empty);
+  EXPECT_EQ(s.jobs_compared, 0);
+  EXPECT_EQ(s.fraction_slowed, 0);
+}
+
+TEST(Metrics, UnfairnessStatsNormalizeByLifetime) {
+  auto r = result_with_jcts({100, 100, 100});
+  r.jobs[0].unfairness_integral = -50;  // riu -0.5: served badly
+  r.jobs[1].unfairness_integral = -0.5; // riu -0.005: within tolerance
+  r.jobs[2].unfairness_integral = 30;   // served better than fair
+  const auto s = unfairness_stats(r);
+  EXPECT_NEAR(s.fraction_negative, 1.0 / 3, 1e-12);
+  EXPECT_NEAR(s.avg_negative_magnitude, 0.5, 1e-12);
+}
+
+TEST(Metrics, MeanTaskDuration) {
+  sim::SimResult r;
+  sim::TaskRecord a;
+  a.start = 0;
+  a.finish = 10;
+  sim::TaskRecord b;
+  b.start = 5;
+  b.finish = 25;
+  r.tasks = {a, b};
+  EXPECT_DOUBLE_EQ(mean_task_duration(r), 15);
+}
+
+// ---------------------------------------------------------------------------
+// Workload analysis
+
+sim::Workload tiny_workload() {
+  sim::Workload w;
+  sim::JobSpec job;
+  sim::StageSpec map;
+  sim::TaskSpec m;
+  m.peak_cores = 2;
+  m.peak_mem = 4 * kGB;
+  m.output_bytes = 100;
+  sim::InputSplit dfs;
+  dfs.bytes = 1000;
+  dfs.replicas = {0};
+  m.inputs.push_back(dfs);
+  map.tasks = {m};
+  sim::StageSpec red;
+  red.deps = {0};
+  sim::TaskSpec r;
+  r.peak_cores = 1;
+  r.peak_mem = 1 * kGB;
+  sim::InputSplit sh;
+  sh.bytes = 100;
+  sh.from_stage = 0;
+  r.inputs.push_back(sh);
+  red.tasks = {r};
+  job.stages = {map, red};
+  w.jobs.push_back(job);
+  return w;
+}
+
+TEST(WorkloadAnalysis, CollectsOneSamplePerTask) {
+  const auto samples = collect_demand_samples(tiny_workload());
+  ASSERT_EQ(samples.size(), 2u);
+  // Map: disk = input + output, no network.
+  EXPECT_DOUBLE_EQ(samples[0].disk_bytes, 1100);
+  EXPECT_DOUBLE_EQ(samples[0].net_bytes, 0);
+  // Reduce: shuffle counts as network.
+  EXPECT_DOUBLE_EQ(samples[1].net_bytes, 100);
+  EXPECT_DOUBLE_EQ(samples[1].disk_bytes, 0);
+}
+
+TEST(WorkloadAnalysis, CorrelationMatrixDiagonalIsOne) {
+  std::vector<TaskDemandSample> samples;
+  for (int i = 0; i < 10; ++i) {
+    TaskDemandSample s;
+    s.cores = i;
+    s.mem = 10 - i;       // perfectly anti-correlated with cores
+    s.disk_bytes = i * i; // monotone with cores
+    s.net_bytes = 5;      // constant
+    samples.push_back(s);
+  }
+  const auto m = demand_correlations(samples);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+  EXPECT_NEAR(m[0][1], -1.0, 1e-12);
+  EXPECT_GT(m[0][2], 0.9);
+  EXPECT_EQ(m[0][3], 0.0);  // constant column
+}
+
+TEST(WorkloadAnalysis, CovsComputedPerAttribute) {
+  std::vector<TaskDemandSample> samples(4);
+  samples[0].cores = 1;
+  samples[1].cores = 1;
+  samples[2].cores = 1;
+  samples[3].cores = 1;
+  const auto covs = demand_covs(samples);
+  EXPECT_DOUBLE_EQ(covs[0], 0.0);  // constant cores
+}
+
+TEST(WorkloadAnalysis, TightnessReadsUsageSamples) {
+  sim::SimResult r;
+  r.machine_usage_samples[0] = {0.1, 0.7, 0.9, 0.95};  // cpu
+  const auto t = tightness(r, 0.8);
+  EXPECT_DOUBLE_EQ(t[0], 0.5);
+  EXPECT_DOUBLE_EQ(t[1], 0.0);  // no samples -> zero
+}
+
+TEST(WorkloadAnalysis, HeatmapBinsAgainstMaxima) {
+  std::vector<TaskDemandSample> samples(2);
+  samples[0].cores = 0.4;  // 0.04 of max -> bin 0
+  samples[0].mem = 0.4;
+  samples[1].cores = 10;
+  samples[1].mem = 10;
+  const auto h = demand_heatmap(samples, /*attribute=*/0, /*bins=*/10);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.count(0, 0), 1u);
+  EXPECT_EQ(h.count(9, 9), 1u);
+}
+
+TEST(WorkloadAnalysis, HeatmapRejectsBadAttribute) {
+  EXPECT_THROW(demand_heatmap({}, 3), std::invalid_argument);
+  EXPECT_THROW(demand_heatmap({}, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tetris::analysis

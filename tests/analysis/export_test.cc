@@ -1,0 +1,84 @@
+#include "analysis/export.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace tetris::analysis {
+namespace {
+
+sim::SimResult sample_result() {
+  sim::SimResult r;
+  sim::JobRecord j;
+  j.id = 0;
+  j.name = "job,with,commas";
+  j.arrival = 1;
+  j.finish = 11;
+  j.total_tasks = 2;
+  r.jobs.push_back(j);
+  sim::TaskRecord t;
+  t.job = 0;
+  t.stage = 1;
+  t.index = 2;
+  t.host = 3;
+  t.start = 4;
+  t.finish = 9;
+  t.natural_duration = 5;
+  r.tasks.push_back(t);
+  sim::TimelineSample s;
+  s.time = 10;
+  s.running_tasks = 7;
+  s.utilization[0] = 0.5;
+  r.timeline.push_back(s);
+  return r;
+}
+
+TEST(Export, JobsCsvHasHeaderAndEscaping) {
+  const std::string csv = jobs_csv(sample_result());
+  EXPECT_NE(csv.find("job,name,template"), std::string::npos);
+  EXPECT_NE(csv.find("\"job,with,commas\""), std::string::npos);
+  EXPECT_NE(csv.find(",10,"), std::string::npos);  // jct = 11 - 1
+}
+
+TEST(Export, UnfinishedJobGetsMinusOneJct) {
+  auto r = sample_result();
+  r.jobs[0].finish = -1;
+  const std::string csv = jobs_csv(r);
+  EXPECT_NE(csv.find(",-1,"), std::string::npos);
+}
+
+TEST(Export, TasksCsvHasAllColumns) {
+  const std::string csv = tasks_csv(sample_result());
+  EXPECT_NE(csv.find("natural_duration"), std::string::npos);
+  EXPECT_NE(csv.find("0,1,2,3,4,9,5,5,"), std::string::npos);
+}
+
+TEST(Export, TimelineCsvNamesResources) {
+  const std::string csv = timeline_csv(sample_result());
+  EXPECT_NE(csv.find("time,running,cpu,mem,disk_r,disk_w,net_in,net_out"),
+            std::string::npos);
+  EXPECT_NE(csv.find("10,7,0.5,"), std::string::npos);
+}
+
+TEST(Export, ExportResultWritesThreeFiles) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tetris_export_test";
+  std::filesystem::remove_all(dir);
+  const std::string prefix = (dir / "run").string();
+  ASSERT_TRUE(export_result(prefix, sample_result()));
+  EXPECT_TRUE(std::filesystem::exists(prefix + "_jobs.csv"));
+  EXPECT_TRUE(std::filesystem::exists(prefix + "_tasks.csv"));
+  EXPECT_TRUE(std::filesystem::exists(prefix + "_timeline.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Export, EmptyResultStillProducesHeaders) {
+  const sim::SimResult empty;
+  EXPECT_FALSE(jobs_csv(empty).empty());
+  EXPECT_FALSE(tasks_csv(empty).empty());
+  EXPECT_FALSE(timeline_csv(empty).empty());
+}
+
+}  // namespace
+}  // namespace tetris::analysis

@@ -1,0 +1,137 @@
+#include "core/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tetris::core {
+namespace {
+
+Resources vec(double cpu, double mem, double disk, double net) {
+  return Resources::of(cpu, mem, disk, net);
+}
+
+TEST(Alignment, CosineIsDotProduct) {
+  const Resources d = vec(0.2, 0.1, 0.0, 0.0);
+  const Resources a = vec(0.5, 1.0, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(alignment_score(AlignmentKind::kCosine, d, a),
+                   0.2 * 0.5 + 0.1 * 1.0);
+}
+
+TEST(Alignment, CosinePrefersTaskMatchingAbundantResource) {
+  // Machine with lots of free network: the network-bound task scores
+  // higher than an equal-magnitude cpu-bound task (the paper's §1
+  // example).
+  Resources avail;
+  avail[Resource::kCpu] = 0.2;
+  avail[Resource::kNetIn] = 1.0;
+  Resources cpu_task;
+  cpu_task[Resource::kCpu] = 0.3;
+  Resources net_task;
+  net_task[Resource::kNetIn] = 0.3;
+  EXPECT_GT(alignment_score(AlignmentKind::kCosine, net_task, avail),
+            alignment_score(AlignmentKind::kCosine, cpu_task, avail));
+}
+
+TEST(Alignment, CosinePrefersLargerTask) {
+  const Resources avail = Resources::uniform(1.0);
+  const Resources small = vec(0.1, 0.1, 0, 0);
+  const Resources large = vec(0.3, 0.3, 0, 0);
+  EXPECT_GT(alignment_score(AlignmentKind::kCosine, large, avail),
+            alignment_score(AlignmentKind::kCosine, small, avail));
+}
+
+TEST(Alignment, L2NormDiffPenalizesMisfit) {
+  const Resources a = vec(0.5, 0.5, 0.5, 0.5);
+  const Resources perfect = a;  // demand == availability
+  const Resources off = vec(0.1, 0.9, 0.5, 0.5);
+  EXPECT_GT(alignment_score(AlignmentKind::kL2NormDiff, perfect, a),
+            alignment_score(AlignmentKind::kL2NormDiff, off, a));
+  EXPECT_DOUBLE_EQ(alignment_score(AlignmentKind::kL2NormDiff, perfect, a),
+                   0.0);
+}
+
+TEST(Alignment, L2NormRatioPenalizesEatingScarceDimensions) {
+  Resources avail = Resources::uniform(1.0);
+  avail[Resource::kDiskRead] = 0.1;  // scarce
+  Resources uses_scarce;
+  uses_scarce[Resource::kDiskRead] = 0.1;
+  Resources uses_abundant;
+  uses_abundant[Resource::kCpu] = 0.1;
+  EXPECT_GT(
+      alignment_score(AlignmentKind::kL2NormRatio, uses_abundant, avail),
+      alignment_score(AlignmentKind::kL2NormRatio, uses_scarce, avail));
+}
+
+TEST(Alignment, L2NormRatioSkipsZeroDemandDimensions) {
+  const Resources d = vec(0.5, 0, 0, 0);
+  const Resources a = Resources::uniform(1.0);
+  EXPECT_DOUBLE_EQ(alignment_score(AlignmentKind::kL2NormRatio, d, a),
+                   -0.25);
+}
+
+TEST(Alignment, FfdVariantsIgnoreMachine) {
+  const Resources d = vec(0.2, 0.4, 0.1, 0);
+  const Resources a1 = Resources::uniform(1.0);
+  const Resources a2 = vec(0.1, 0.2, 0.9, 0.4);
+  for (auto kind : {AlignmentKind::kFfdProd, AlignmentKind::kFfdSum}) {
+    EXPECT_DOUBLE_EQ(alignment_score(kind, d, a1),
+                     alignment_score(kind, d, a2));
+  }
+}
+
+TEST(Alignment, FfdSumIsDemandSum) {
+  const Resources d = vec(0.2, 0.4, 0.1, 0);
+  // of() fills disk r+w and net in+out: sum = .2+.4+.1+.1+0+0.
+  EXPECT_DOUBLE_EQ(alignment_score(AlignmentKind::kFfdSum, d, {}), 0.8);
+}
+
+TEST(Alignment, FfdProdSkipsZeroDimensionsAndPrefersBigger) {
+  Resources small;
+  small[Resource::kCpu] = 0.1;
+  Resources big;
+  big[Resource::kCpu] = 0.5;
+  EXPECT_GT(alignment_score(AlignmentKind::kFfdProd, big, {}),
+            alignment_score(AlignmentKind::kFfdProd, small, {}));
+  EXPECT_EQ(alignment_score(AlignmentKind::kFfdProd, Resources{}, {}), 0.0);
+}
+
+TEST(Alignment, NamesAreUniqueAndStable) {
+  EXPECT_EQ(alignment_name(AlignmentKind::kCosine), "cosine");
+  EXPECT_EQ(alignment_name(AlignmentKind::kL2NormDiff), "l2-norm-diff");
+  EXPECT_EQ(alignment_name(AlignmentKind::kL2NormRatio), "l2-norm-ratio");
+  EXPECT_EQ(alignment_name(AlignmentKind::kFfdProd), "ffd-prod");
+  EXPECT_EQ(alignment_name(AlignmentKind::kFfdSum), "ffd-sum");
+}
+
+// Property sweep: every scorer is finite and higher-is-better monotone in
+// overall demand scale (for demands that fit).
+class AlignmentKindTest : public ::testing::TestWithParam<AlignmentKind> {};
+
+TEST_P(AlignmentKindTest, FiniteOnBoundaryInputs) {
+  const auto kind = GetParam();
+  const Resources zero;
+  const Resources one = Resources::uniform(1.0);
+  for (const auto& d : {zero, one}) {
+    for (const auto& a : {zero, one}) {
+      const double s = alignment_score(kind, d, a);
+      EXPECT_TRUE(std::isfinite(s))
+          << alignment_name(kind) << " d=" << d.to_string()
+          << " a=" << a.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, AlignmentKindTest,
+    ::testing::Values(AlignmentKind::kCosine, AlignmentKind::kL2NormDiff,
+                      AlignmentKind::kL2NormRatio, AlignmentKind::kFfdProd,
+                      AlignmentKind::kFfdSum),
+    [](const auto& info) {
+      std::string name(alignment_name(info.param));
+      std::erase(name, '-');
+      return name;
+    });
+
+}  // namespace
+}  // namespace tetris::core

@@ -1,0 +1,142 @@
+#include "core/demand_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.h"
+
+namespace tetris::core {
+namespace {
+
+sim::TaskReport report(sim::JobId job, int stage, int template_id,
+                       double cores, double duration) {
+  sim::TaskReport r;
+  r.job = job;
+  r.stage = stage;
+  r.template_id = template_id;
+  r.peak_usage[Resource::kCpu] = cores;
+  r.peak_usage[Resource::kMem] = 2 * kGB;
+  r.duration = duration;
+  return r;
+}
+
+TEST(DemandEstimator, OverestimatesWithoutData) {
+  DemandEstimator est;
+  Resources def;
+  def[Resource::kCpu] = 2;
+  const Estimate e = est.estimate(1, 0, -1, def, 10);
+  EXPECT_EQ(e.source, EstimateSource::kOverestimate);
+  EXPECT_DOUBLE_EQ(e.demand[Resource::kCpu], 2 * 1.4);
+  EXPECT_DOUBLE_EQ(e.duration, 14);
+}
+
+TEST(DemandEstimator, UsesPhaseProfileAfterMinSamples) {
+  EstimatorConfig cfg;
+  cfg.min_samples = 2;
+  cfg.headroom_stdevs = 0;
+  DemandEstimator est(cfg);
+  est.observe(report(1, 0, -1, 3.0, 12));
+  EXPECT_EQ(est.estimate(1, 0, -1, {}, 0).source,
+            EstimateSource::kOverestimate);
+  est.observe(report(1, 0, -1, 5.0, 8));
+  const Estimate e = est.estimate(1, 0, -1, {}, 0);
+  EXPECT_EQ(e.source, EstimateSource::kPhaseProfile);
+  EXPECT_DOUBLE_EQ(e.demand[Resource::kCpu], 4.0);
+  EXPECT_DOUBLE_EQ(e.duration, 10.0);
+}
+
+TEST(DemandEstimator, PhaseProfilesAreIndependentPerStage) {
+  EstimatorConfig cfg;
+  cfg.min_samples = 1;
+  cfg.headroom_stdevs = 0;
+  DemandEstimator est(cfg);
+  est.observe(report(1, 0, -1, 3.0, 12));
+  EXPECT_EQ(est.estimate(1, 0, -1, {}, 0).source,
+            EstimateSource::kPhaseProfile);
+  EXPECT_EQ(est.estimate(1, 1, -1, {}, 0).source,
+            EstimateSource::kOverestimate);
+  EXPECT_EQ(est.estimate(2, 0, -1, {}, 0).source,
+            EstimateSource::kOverestimate);
+}
+
+TEST(DemandEstimator, TemplateHistoryServesRecurringJobs) {
+  EstimatorConfig cfg;
+  cfg.min_samples = 1;
+  cfg.headroom_stdevs = 0;
+  DemandEstimator est(cfg);
+  // Job 1 of template 9 ran; a *new* job 2 of the same template asks.
+  est.observe(report(1, 0, 9, 3.0, 12));
+  const Estimate e = est.estimate(2, 0, 9, {}, 0);
+  EXPECT_EQ(e.source, EstimateSource::kTemplateHistory);
+  EXPECT_DOUBLE_EQ(e.demand[Resource::kCpu], 3.0);
+}
+
+TEST(DemandEstimator, PhaseProfileBeatsTemplateHistory) {
+  EstimatorConfig cfg;
+  cfg.min_samples = 1;
+  cfg.headroom_stdevs = 0;
+  DemandEstimator est(cfg);
+  est.observe(report(1, 0, 9, 3.0, 12));  // template history says 3 cores
+  est.observe(report(2, 0, 9, 6.0, 12));  // this very phase says 6
+  const Estimate e = est.estimate(2, 0, 9, {}, 0);
+  EXPECT_EQ(e.source, EstimateSource::kPhaseProfile);
+  EXPECT_DOUBLE_EQ(e.demand[Resource::kCpu], 6.0);
+}
+
+TEST(DemandEstimator, HeadroomAddsStdevs) {
+  EstimatorConfig cfg;
+  cfg.min_samples = 2;
+  cfg.headroom_stdevs = 1.0;
+  DemandEstimator est(cfg);
+  est.observe(report(1, 0, -1, 2.0, 10));
+  est.observe(report(1, 0, -1, 4.0, 10));
+  const Estimate e = est.estimate(1, 0, -1, {}, 0);
+  // mean 3, sample stdev sqrt(2).
+  EXPECT_NEAR(e.demand[Resource::kCpu], 3.0 + std::sqrt(2.0), 1e-9);
+}
+
+TEST(DemandEstimator, TracksObservationCount) {
+  DemandEstimator est;
+  EXPECT_EQ(est.observations(), 0);
+  est.observe(report(1, 0, -1, 1, 1));
+  est.observe(report(1, 0, 4, 1, 1));
+  EXPECT_EQ(est.observations(), 2);
+}
+
+TEST(DemandEstimator, NegativeTemplateNeverMatchesTemplateKeys) {
+  EstimatorConfig cfg;
+  cfg.min_samples = 1;
+  DemandEstimator est(cfg);
+  est.observe(report(1, 0, -1, 3.0, 12));
+  // A different job without template data gets the over-estimate.
+  EXPECT_EQ(est.estimate(2, 0, -1, {}, 0).source,
+            EstimateSource::kOverestimate);
+}
+
+TEST(DemandEstimator, RejectsBadConfig) {
+  EstimatorConfig bad;
+  bad.overestimate_factor = 0.9;
+  EXPECT_THROW(DemandEstimator{bad}, std::invalid_argument);
+  bad = EstimatorConfig{};
+  bad.min_samples = 0;
+  EXPECT_THROW(DemandEstimator{bad}, std::invalid_argument);
+  bad = EstimatorConfig{};
+  bad.headroom_stdevs = -1;
+  EXPECT_THROW(DemandEstimator{bad}, std::invalid_argument);
+}
+
+TEST(DemandEstimator, ConvergesToTrueMeanOverManyReports) {
+  EstimatorConfig cfg;
+  cfg.headroom_stdevs = 0;
+  DemandEstimator est(cfg);
+  for (int i = 0; i < 100; ++i) {
+    est.observe(report(1, 0, -1, 2.0 + (i % 2 ? 0.5 : -0.5), 10));
+  }
+  const Estimate e = est.estimate(1, 0, -1, {}, 0);
+  EXPECT_NEAR(e.demand[Resource::kCpu], 2.0, 1e-9);
+  EXPECT_NEAR(e.duration, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tetris::core

@@ -1,0 +1,179 @@
+// Property matrix: universal invariants that must hold for EVERY
+// scheduler on EVERY workload — conservation of tasks, physics (no task
+// beats its natural duration), barrier ordering, sane timestamps, and
+// makespan lower bounds. Parameterized over scheduler x workload seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/tetris_scheduler.h"
+#include "sched/drf_scheduler.h"
+#include "sched/random_scheduler.h"
+#include "sched/slot_scheduler.h"
+#include "sched/srtf_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/facebook.h"
+#include "workload/profiles.h"
+#include "workload/suite.h"
+
+namespace tetris {
+namespace {
+
+enum class Sched { kTetris, kSlot, kDrf, kSrtf, kRandom };
+enum class Load { kSuite, kFacebook };
+
+struct Case {
+  Sched sched;
+  Load load;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s;
+  switch (info.param.sched) {
+    case Sched::kTetris:
+      s = "Tetris";
+      break;
+    case Sched::kSlot:
+      s = "Slot";
+      break;
+    case Sched::kDrf:
+      s = "Drf";
+      break;
+    case Sched::kSrtf:
+      s = "Srtf";
+      break;
+    case Sched::kRandom:
+      s = "Random";
+      break;
+  }
+  s += info.param.load == Load::kSuite ? "Suite" : "Facebook";
+  s += "Seed" + std::to_string(info.param.seed);
+  return s;
+}
+
+std::unique_ptr<sim::Scheduler> make_scheduler(Sched kind) {
+  switch (kind) {
+    case Sched::kTetris:
+      return std::make_unique<core::TetrisScheduler>();
+    case Sched::kSlot:
+      return std::make_unique<sched::SlotScheduler>();
+    case Sched::kDrf:
+      return std::make_unique<sched::DrfScheduler>();
+    case Sched::kSrtf:
+      return std::make_unique<sched::SrtfScheduler>();
+    case Sched::kRandom:
+      return std::make_unique<sched::RandomScheduler>();
+  }
+  return nullptr;
+}
+
+sim::Workload make_load(Load kind, std::uint64_t seed) {
+  if (kind == Load::kSuite) {
+    workload::SuiteConfig cfg;
+    cfg.num_jobs = 24;
+    cfg.num_machines = 10;
+    cfg.task_scale = 0.04;
+    cfg.arrival_window = 250;
+    cfg.seed = seed;
+    return workload::make_suite_workload(cfg);
+  }
+  workload::FacebookConfig cfg;
+  cfg.num_jobs = 30;
+  cfg.num_machines = 10;
+  cfg.task_scale = 0.3;
+  cfg.arrival_window = 250;
+  cfg.seed = seed;
+  return workload::make_facebook_workload(cfg);
+}
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SchedulerPropertyTest, UniversalInvariantsHold) {
+  const Case c = GetParam();
+  const sim::Workload w = make_load(c.load, c.seed);
+  sim::SimConfig cfg;
+  cfg.num_machines = 10;
+  cfg.machine_capacity = workload::facebook_machine();
+  if (c.sched == Sched::kTetris) cfg.tracker = sim::TrackerMode::kUsage;
+  auto scheduler = make_scheduler(c.sched);
+  const sim::SimResult r = sim::simulate(cfg, w, *scheduler);
+
+  // 1. Everything finishes and nothing runs twice.
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks.size(), w.total_tasks());
+  std::set<std::tuple<int, int, int>> seen;
+  for (const auto& t : r.tasks) {
+    EXPECT_TRUE(seen.insert({t.job, t.stage, t.index}).second);
+  }
+
+  // 2. Physics: no task beats its natural duration; timestamps are sane.
+  std::map<int, SimTime> arrivals;
+  for (std::size_t j = 0; j < w.jobs.size(); ++j) {
+    arrivals[static_cast<int>(j)] = w.jobs[j].arrival;
+  }
+  for (const auto& t : r.tasks) {
+    EXPECT_GE(t.duration(), t.natural_duration - 1e-6);
+    EXPECT_GE(t.start, arrivals[t.job] - 1e-9);
+    EXPECT_GE(t.host, 0);
+    EXPECT_LT(t.host, 10);
+    EXPECT_GE(t.local_fraction, 0.0);
+    EXPECT_LE(t.local_fraction, 1.0);
+  }
+
+  // 3. Barriers: no stage-s task starts before all of the stages it
+  // depends on finished.
+  std::map<std::pair<int, int>, SimTime> stage_done;
+  for (const auto& t : r.tasks) {
+    auto& done = stage_done[std::make_pair(t.job, t.stage)];
+    done = std::max(done, t.finish);
+  }
+  for (const auto& t : r.tasks) {
+    for (int dep : w.jobs[static_cast<std::size_t>(t.job)]
+                       .stages[static_cast<std::size_t>(t.stage)]
+                       .deps) {
+      const SimTime dep_done = stage_done[std::make_pair(t.job, dep)];
+      EXPECT_GE(t.start, dep_done - 1e-9)
+          << "job " << t.job << " stage " << t.stage << " dep " << dep;
+    }
+  }
+
+  // 4. Job records agree with task records.
+  for (const auto& job : r.jobs) {
+    SimTime last = 0;
+    for (const auto& t : r.tasks) {
+      if (t.job == job.id) last = std::max(last, t.finish);
+    }
+    EXPECT_NEAR(job.finish, last, 1e-9);
+    EXPECT_GE(job.completion_time(), 0);
+  }
+
+  // 5. Makespan bounds: at least the longest single natural duration, at
+  // most the serial sum of all durations.
+  double longest = 0, serial = 0;
+  for (const auto& t : r.tasks) {
+    longest = std::max(longest, t.natural_duration);
+    serial += t.duration();
+  }
+  EXPECT_GE(r.makespan, longest - 1e-6);
+  EXPECT_LE(r.makespan, serial + 1e3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SchedulerPropertyTest,
+    ::testing::Values(
+        Case{Sched::kTetris, Load::kSuite, 1}, Case{Sched::kTetris, Load::kSuite, 2},
+        Case{Sched::kTetris, Load::kFacebook, 1},
+        Case{Sched::kTetris, Load::kFacebook, 2},
+        Case{Sched::kSlot, Load::kSuite, 1}, Case{Sched::kSlot, Load::kFacebook, 1},
+        Case{Sched::kDrf, Load::kSuite, 1}, Case{Sched::kDrf, Load::kFacebook, 1},
+        Case{Sched::kSrtf, Load::kSuite, 1}, Case{Sched::kSrtf, Load::kFacebook, 1},
+        Case{Sched::kRandom, Load::kSuite, 1},
+        Case{Sched::kRandom, Load::kFacebook, 1}),
+    case_name);
+
+}  // namespace
+}  // namespace tetris

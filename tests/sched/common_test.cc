@@ -1,0 +1,280 @@
+// Direct unit tests of the shared scheduler helpers and decision logic,
+// driven through the FakeContext (no simulator in the loop).
+#include "sched/common.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tetris_scheduler.h"
+#include "tests/support/fake_context.h"
+#include "util/units.h"
+
+namespace tetris::sched {
+namespace {
+
+using test::FakeContext;
+
+Resources machine_cap() {
+  return Resources::full(8, 8 * kGB, 100 * kMB, 100 * kMB, 125 * kMB,
+                         125 * kMB);
+}
+
+TEST(FitsCpuMem, ChecksOnlyCpuAndMemory) {
+  Resources avail = machine_cap();
+  Resources demand;
+  demand[Resource::kCpu] = 4;
+  demand[Resource::kMem] = 4 * kGB;
+  demand[Resource::kDiskRead] = 1e12;  // absurd, but not checked
+  EXPECT_TRUE(fits_cpu_mem(demand, avail));
+  demand[Resource::kCpu] = 9;
+  EXPECT_FALSE(fits_cpu_mem(demand, avail));
+  demand[Resource::kCpu] = 4;
+  demand[Resource::kMem] = 9 * kGB;
+  EXPECT_FALSE(fits_cpu_mem(demand, avail));
+}
+
+TEST(FitsAllLocal, ChecksEveryDimension) {
+  Resources avail = machine_cap();
+  Resources demand;
+  for (Resource r : all_resources()) {
+    demand[r] = avail[r] * 0.99;
+  }
+  EXPECT_TRUE(fits_all_local(demand, avail));
+  demand[Resource::kNetOut] = avail[Resource::kNetOut] * 1.01;
+  EXPECT_FALSE(fits_all_local(demand, avail));
+}
+
+TEST(RemoteLegsFit, ChecksEveryLegAgainstItsSource) {
+  FakeContext ctx({machine_cap(), machine_cap()});
+  sim::Probe p;
+  p.remote.push_back({1, 50 * kMB, 50 * kMB, 0});
+  EXPECT_TRUE(remote_legs_fit(ctx, p));
+  p.remote.push_back({1, 200 * kMB, 0, 0});  // beyond machine 1's disk
+  EXPECT_FALSE(remote_legs_fit(ctx, p));
+}
+
+TEST(RemoteLegsFit, ChecksNetInForUplinkLegs) {
+  FakeContext ctx({machine_cap(), machine_cap()});
+  sim::Probe p;
+  p.remote.push_back({1, 0, 0, 200 * kMB});  // inbound beyond the NIC
+  EXPECT_FALSE(remote_legs_fit(ctx, p));
+}
+
+TEST(BestMachineForGroup, PicksHighestLocalFraction) {
+  FakeContext ctx({machine_cap(), machine_cap(), machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 1;
+  d[Resource::kMem] = 1 * kGB;
+  auto& g = ctx.add_group(0, 0, 2, d);
+  g.local_fraction_on[0] = 0.2;
+  g.local_fraction_on[1] = 0.9;
+  g.local_fraction_on[2] = 0.5;
+  const auto best = best_machine_for_group(
+      ctx, g.view, [](const sim::Probe&) { return true; });
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->machine, 1);
+}
+
+TEST(BestMachineForGroup, SkipsMachinesFailingTheFitPredicate) {
+  FakeContext ctx({machine_cap(), machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 1;
+  auto& g = ctx.add_group(0, 0, 1, d);
+  g.local_fraction_on[0] = 1.0;  // best locality, but rejected below
+  g.local_fraction_on[1] = 0.0;
+  const auto best = best_machine_for_group(
+      ctx, g.view, [](const sim::Probe& p) { return p.machine != 0; });
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->machine, 1);
+}
+
+TEST(BestMachineForGroup, ReturnsNulloptWhenNothingFits) {
+  FakeContext ctx({machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 1;
+  auto& g = ctx.add_group(0, 0, 1, d);
+  const auto best = best_machine_for_group(
+      ctx, g.view, [](const sim::Probe&) { return false; });
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(BestMachineForGroup, PrefilterSkipsProbes) {
+  FakeContext ctx({machine_cap(), machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 1;
+  auto& g = ctx.add_group(0, 0, 1, d);
+  const long before = ctx.probe_count();
+  const auto best = best_machine_for_group(
+      ctx, g.view, [](const sim::Probe&) { return true; },
+      [](const Resources&) { return false; });  // prefilter rejects all
+  EXPECT_FALSE(best.has_value());
+  EXPECT_EQ(ctx.probe_count(), before);  // no probe was issued
+}
+
+// ---------------------------------------------------------------------------
+// Tetris decision logic through the fake context
+
+core::TetrisConfig plain_tetris() {
+  core::TetrisConfig cfg;
+  cfg.fairness_knob = 0;
+  cfg.barrier_knob = 1.0;
+  cfg.srtf_weight = 0;
+  return cfg;
+}
+
+TEST(TetrisDecisions, PicksHighestAlignmentPair) {
+  FakeContext ctx({machine_cap(), machine_cap()});
+  // Machine 1 has little cpu left: the cpu-heavy group aligns better with
+  // machine 0.
+  Resources m1 = machine_cap();
+  m1[Resource::kCpu] = 0.5;
+  ctx.set_available(1, m1);
+  Resources cpu_heavy;
+  cpu_heavy[Resource::kCpu] = 4;
+  cpu_heavy[Resource::kMem] = 1 * kGB;
+  ctx.add_group(0, 0, 1, cpu_heavy);
+  core::TetrisScheduler tetris(plain_tetris());
+  tetris.schedule(ctx);
+  ASSERT_EQ(ctx.placements.size(), 1u);
+  EXPECT_EQ(ctx.placements[0].machine, 0);
+}
+
+TEST(TetrisDecisions, RemotePenaltyBreaksTies) {
+  FakeContext ctx({machine_cap(), machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 2;
+  d[Resource::kMem] = 2 * kGB;
+  auto& g = ctx.add_group(0, 0, 1, d);
+  g.local_fraction_on[0] = 0.0;
+  g.local_fraction_on[1] = 1.0;
+  auto cfg = plain_tetris();
+  cfg.remote_penalty = 0.1;
+  core::TetrisScheduler tetris(cfg);
+  tetris.schedule(ctx);
+  ASSERT_EQ(ctx.placements.size(), 1u);
+  EXPECT_EQ(ctx.placements[0].machine, 1);
+}
+
+TEST(TetrisDecisions, SrtfBreaksTiesTowardSmallerJob) {
+  auto cfg = plain_tetris();
+  cfg.srtf_weight = 1.0;
+  core::TetrisScheduler tetris(cfg);
+
+  // First pass on a warm-up context: eps is zero until the scheduler has
+  // seen at least one alignment score (frozen-per-round semantics).
+  {
+    FakeContext warmup({machine_cap()});
+    Resources d;
+    d[Resource::kCpu] = 1;
+    d[Resource::kMem] = 1 * kGB;
+    warmup.add_group(9, 0, 1, d);
+    tetris.schedule(warmup);
+  }
+
+  FakeContext ctx({machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 8;  // one at a time
+  d[Resource::kMem] = 1 * kGB;
+  ctx.add_group(0, 0, 1, d);
+  ctx.add_group(1, 0, 1, d);
+  ctx.job(0).remaining_work = 100;
+  ctx.job(1).remaining_work = 10;
+  tetris.schedule(ctx);
+  ASSERT_GE(ctx.placements.size(), 1u);
+  EXPECT_EQ(ctx.placements[0].group.job, 1);  // less remaining work first
+}
+
+TEST(TetrisDecisions, FairnessCutExcludesOverservedJob) {
+  FakeContext ctx({machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 2;
+  d[Resource::kMem] = 1 * kGB;
+  ctx.add_group(0, 0, 4, d);
+  ctx.add_group(1, 0, 4, d);
+  // Job 0 already holds most of the cluster.
+  ctx.job(0).current_alloc[Resource::kCpu] = 6;
+  auto cfg = plain_tetris();
+  cfg.fairness_knob = 0.9;  // only the furthest-below job is eligible
+  core::TetrisScheduler tetris(cfg);
+  tetris.schedule(ctx);
+  ASSERT_FALSE(ctx.placements.empty());
+  EXPECT_EQ(ctx.placements[0].group.job, 1);
+}
+
+TEST(TetrisDecisions, OnlyCpuMemModeIgnoresDiskOverload) {
+  FakeContext ctx({machine_cap()});
+  Resources avail = machine_cap();
+  avail[Resource::kDiskRead] = 0;  // disk exhausted
+  ctx.set_available(0, avail);
+  Resources d;
+  d[Resource::kCpu] = 1;
+  d[Resource::kMem] = 1 * kGB;
+  d[Resource::kDiskRead] = 50 * kMB;
+  ctx.add_group(0, 0, 1, d);
+
+  core::TetrisScheduler strict(plain_tetris());
+  strict.schedule(ctx);
+  EXPECT_TRUE(ctx.placements.empty());
+
+  auto cfg = plain_tetris();
+  cfg.only_cpu_mem = true;
+  core::TetrisScheduler loose(cfg);
+  loose.schedule(ctx);
+  EXPECT_EQ(ctx.placements.size(), 1u);
+}
+
+TEST(TetrisDecisions, FutureBarSuppressesWorseCandidate) {
+  FakeContext ctx({machine_cap()});
+  Resources small;
+  small[Resource::kCpu] = 1;
+  small[Resource::kMem] = 0.5 * kGB;
+  ctx.add_group(0, 0, 1, small);
+  // An imminent group that would align much better here.
+  sim::GroupView imminent;
+  imminent.ref = {1, 1};
+  imminent.eta = 3;
+  imminent.est_demand[Resource::kCpu] = 8;
+  imminent.est_demand[Resource::kMem] = 4 * kGB;
+  ctx.add_imminent(imminent);
+
+  auto cfg = plain_tetris();
+  cfg.future_lookahead = 10;
+  core::TetrisScheduler held(cfg);
+  held.schedule(ctx);
+  EXPECT_TRUE(ctx.placements.empty());  // held back for the big stage
+
+  core::TetrisScheduler greedy(plain_tetris());
+  greedy.schedule(ctx);
+  EXPECT_EQ(ctx.placements.size(), 1u);
+}
+
+TEST(TetrisDecisions, FutureBarIgnoresDistantEtas) {
+  FakeContext ctx({machine_cap()});
+  Resources small;
+  small[Resource::kCpu] = 1;
+  small[Resource::kMem] = 0.5 * kGB;
+  ctx.add_group(0, 0, 1, small);
+  sim::GroupView imminent;
+  imminent.ref = {1, 1};
+  imminent.eta = 500;  // far beyond the lookahead
+  imminent.est_demand[Resource::kCpu] = 8;
+  ctx.add_imminent(imminent);
+  auto cfg = plain_tetris();
+  cfg.future_lookahead = 10;
+  core::TetrisScheduler tetris(cfg);
+  tetris.schedule(ctx);
+  EXPECT_EQ(ctx.placements.size(), 1u);
+}
+
+TEST(TetrisDecisions, DrainsMachineUntilNothingFits) {
+  FakeContext ctx({machine_cap()});
+  Resources d;
+  d[Resource::kCpu] = 3;
+  d[Resource::kMem] = 1 * kGB;
+  ctx.add_group(0, 0, 5, d);
+  core::TetrisScheduler tetris(plain_tetris());
+  tetris.schedule(ctx);
+  EXPECT_EQ(ctx.placements.size(), 2u);  // 3+3 cores; the third (9) won't fit
+}
+
+}  // namespace
+}  // namespace tetris::sched

@@ -1,0 +1,89 @@
+#include "sched/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace tetris::sched {
+namespace {
+
+sim::JobView job(sim::JobId id, double cores, double mem_gb,
+                 SimTime arrival = 0) {
+  sim::JobView v;
+  v.id = id;
+  v.arrival = arrival;
+  v.current_alloc[Resource::kCpu] = cores;
+  v.current_alloc[Resource::kMem] = mem_gb * kGB;
+  return v;
+}
+
+Resources cluster() { return Resources::of(100, 200 * kGB, 1000, 1000); }
+
+TEST(Fairness, DominantShareTakesMaxOverDims) {
+  Resources alloc;
+  alloc[Resource::kCpu] = 10;         // 10% of 100
+  alloc[Resource::kMem] = 100 * kGB;  // 50% of 200
+  EXPECT_DOUBLE_EQ(
+      dominant_share(alloc, cluster(), {Resource::kCpu, Resource::kMem}),
+      0.5);
+  EXPECT_DOUBLE_EQ(dominant_share(alloc, cluster(), {Resource::kCpu}), 0.1);
+}
+
+TEST(Fairness, DominantShareIgnoresZeroCapacityDims) {
+  Resources alloc;
+  alloc[Resource::kNetIn] = 5;
+  Resources cap;  // all-zero capacity
+  EXPECT_EQ(dominant_share(alloc, cap, {Resource::kNetIn}), 0.0);
+}
+
+TEST(Fairness, DrfShareUsesCpuAndMemoryOnly) {
+  auto v = job(0, 0, 0);
+  v.current_alloc[Resource::kNetIn] = 1000;  // ignored by deployed DRF
+  EXPECT_EQ(job_share(FairnessPolicy::kDrf, v, cluster(), 2 * kGB), 0.0);
+  v.current_alloc[Resource::kCpu] = 50;
+  EXPECT_DOUBLE_EQ(job_share(FairnessPolicy::kDrf, v, cluster(), 2 * kGB),
+                   0.5);
+}
+
+TEST(Fairness, SlotShareRoundsMemoryUpToSlots) {
+  // 100 slots of 2 GB in a 200 GB cluster; 3 GB used -> 2 slots -> 2%.
+  auto v = job(0, 0, 3);
+  EXPECT_DOUBLE_EQ(job_share(FairnessPolicy::kSlots, v, cluster(), 2 * kGB),
+                   0.02);
+}
+
+TEST(Fairness, SlotShareZeroSlotMemIsZero) {
+  auto v = job(0, 1, 1);
+  EXPECT_EQ(job_share(FairnessPolicy::kSlots, v, cluster(), 0), 0.0);
+}
+
+TEST(Fairness, OrderPutsLowestShareFirst) {
+  std::vector<sim::JobView> jobs = {job(0, 50, 0), job(1, 10, 0),
+                                    job(2, 30, 0)};
+  const auto order = furthest_from_share_order(FairnessPolicy::kDrf, jobs,
+                                               cluster(), 2 * kGB);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(jobs[order[0]].id, 1);
+  EXPECT_EQ(jobs[order[1]].id, 2);
+  EXPECT_EQ(jobs[order[2]].id, 0);
+}
+
+TEST(Fairness, OrderBreaksTiesByArrivalThenId) {
+  std::vector<sim::JobView> jobs = {job(3, 10, 0, /*arrival=*/5),
+                                    job(1, 10, 0, /*arrival=*/2),
+                                    job(2, 10, 0, /*arrival=*/2)};
+  const auto order = furthest_from_share_order(FairnessPolicy::kDrf, jobs,
+                                               cluster(), 2 * kGB);
+  EXPECT_EQ(jobs[order[0]].id, 1);
+  EXPECT_EQ(jobs[order[1]].id, 2);
+  EXPECT_EQ(jobs[order[2]].id, 3);
+}
+
+TEST(Fairness, OrderOfEmptyIsEmpty) {
+  EXPECT_TRUE(furthest_from_share_order(FairnessPolicy::kDrf, {}, cluster(),
+                                        2 * kGB)
+                  .empty());
+}
+
+}  // namespace
+}  // namespace tetris::sched

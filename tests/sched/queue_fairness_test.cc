@@ -1,0 +1,139 @@
+// Queue-level fairness (paper §3.4 "jobs (or groups of jobs)"): the
+// ordering helpers and Tetris's fairness_over_queues behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/tetris_scheduler.h"
+#include "sched/fairness.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace tetris::sched {
+namespace {
+
+sim::JobView qjob(sim::JobId id, int queue, double cores) {
+  sim::JobView v;
+  v.id = id;
+  v.queue = queue;
+  v.current_alloc[Resource::kCpu] = cores;
+  return v;
+}
+
+Resources cluster() { return Resources::of(100, 200 * kGB, 1000, 1000); }
+
+TEST(QueueFairness, OrdersQueuesByAggregateShare) {
+  // Queue 0 holds two jobs with 30 cores total; queue 1 one job with 10.
+  std::vector<sim::JobView> jobs = {qjob(0, 0, 20), qjob(1, 0, 10),
+                                    qjob(2, 1, 10)};
+  const auto order =
+      furthest_queues_order(FairnessPolicy::kDrf, jobs, cluster(), 2 * kGB);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // queue 1 has the smaller aggregate share
+  EXPECT_EQ(order[1], 0);
+}
+
+TEST(QueueFairness, TiesBreakByQueueId) {
+  std::vector<sim::JobView> jobs = {qjob(0, 3, 10), qjob(1, 1, 10)};
+  const auto order =
+      furthest_queues_order(FairnessPolicy::kDrf, jobs, cluster(), 2 * kGB);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 3);
+}
+
+TEST(QueueFairness, EmptyInputYieldsEmptyOrder) {
+  EXPECT_TRUE(
+      furthest_queues_order(FairnessPolicy::kSlots, {}, cluster(), 2 * kGB)
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Tetris with fairness over queues
+
+sim::TaskSpec cpu_task(double cores, double mem_gb, double seconds) {
+  sim::TaskSpec t;
+  t.peak_cores = cores;
+  t.peak_mem = mem_gb * kGB;
+  t.cpu_cycles = cores * seconds;
+  return t;
+}
+
+// Queue 0: four jobs; queue 1: one job. All jobs identical (4 x 1-core
+// tasks). Per-queue fairness should give queue 1's single job ~half the
+// machine; per-job fairness gives it ~a fifth.
+sim::Workload queue_workload() {
+  sim::Workload w;
+  for (int j = 0; j < 5; ++j) {
+    sim::JobSpec job;
+    job.queue = j < 4 ? 0 : 1;
+    job.name = "q" + std::to_string(job.queue) + "-j" + std::to_string(j);
+    sim::StageSpec s;
+    for (int i = 0; i < 8; ++i) s.tasks.push_back(cpu_task(1, 0.5, 10));
+    job.stages.push_back(s);
+    w.jobs.push_back(job);
+  }
+  return w;
+}
+
+sim::SimConfig one_machine() {
+  sim::SimConfig cfg;
+  cfg.num_machines = 1;
+  cfg.machine_capacity =
+      Resources::full(8, 16 * kGB, 200 * kMB, 200 * kMB, 125 * kMB,
+                      125 * kMB);
+  return cfg;
+}
+
+// Tasks of the queue-1 job running in the first wave under each mode.
+int queue1_first_wave(bool over_queues) {
+  core::TetrisConfig tcfg;
+  tcfg.fairness_knob = 0.75;  // strong fairness so the cut bites
+  tcfg.srtf_weight = 0;
+  tcfg.fairness_over_queues = over_queues;
+  core::TetrisScheduler tetris(tcfg);
+  const auto r = sim::simulate(one_machine(), queue_workload(), tetris);
+  EXPECT_TRUE(r.completed);
+  SimTime first = 1e18;
+  for (const auto& t : r.tasks) first = std::min(first, t.start);
+  int count = 0;
+  for (const auto& t : r.tasks) {
+    if (t.job == 4 && t.start <= first + 1e-9) count++;
+  }
+  return count;
+}
+
+TEST(QueueFairness, QueueModeGivesTheLoneQueueALargerShare) {
+  const int per_job = queue1_first_wave(false);
+  const int per_queue = queue1_first_wave(true);
+  // Per-queue: queue 1 deserves ~half of the 8 cores; per-job: ~1/5.
+  EXPECT_GT(per_queue, per_job);
+  EXPECT_GE(per_queue, 3);
+}
+
+TEST(QueueFairness, SingleQueueDegeneratesToJobFairness) {
+  // All jobs in one queue: both modes complete and behave sanely.
+  auto w = queue_workload();
+  for (auto& job : w.jobs) job.queue = 0;
+  for (bool over_queues : {false, true}) {
+    core::TetrisConfig tcfg;
+    tcfg.fairness_knob = 0.5;
+    tcfg.fairness_over_queues = over_queues;
+    core::TetrisScheduler tetris(tcfg);
+    const auto r = sim::simulate(one_machine(), w, tetris);
+    EXPECT_TRUE(r.completed);
+  }
+}
+
+TEST(QueueFairness, QueueModeCompletesMixedWorkload) {
+  auto w = queue_workload();
+  core::TetrisConfig tcfg;
+  tcfg.fairness_knob = 0.25;
+  tcfg.fairness_over_queues = true;
+  core::TetrisScheduler tetris(tcfg);
+  const auto r = sim::simulate(one_machine(), w, tetris);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks.size(), 40u);
+}
+
+}  // namespace
+}  // namespace tetris::sched

@@ -1,0 +1,152 @@
+// Rack-level network oversubscription (paper Table 1 context): cross-rack
+// reads consume shared uplink bandwidth; schedulers see the uplinks
+// through the standard remote-leg admission path.
+#include <gtest/gtest.h>
+
+#include "core/tetris_scheduler.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace tetris::sim {
+namespace {
+
+TaskSpec reader(double mb, double io_mb, MachineId replica) {
+  TaskSpec t;
+  t.peak_cores = 0.25;
+  t.peak_mem = 0.5 * kGB;
+  t.max_io_bw = io_mb * kMB;
+  InputSplit s;
+  s.bytes = mb * kMB;
+  s.replicas = {replica};
+  t.inputs.push_back(s);
+  return t;
+}
+
+// Two racks of two machines; data on rack 0, reading machines on rack 1
+// (rack-1 machines are the only ones with memory for tasks).
+SimConfig racked_cluster(double oversubscription) {
+  SimConfig cfg;
+  const Resources storage =
+      Resources::full(8, 0.1 * kGB, 200 * kMB, 200 * kMB, 125 * kMB,
+                      125 * kMB);
+  const Resources compute =
+      Resources::full(8, 8 * kGB, 200 * kMB, 200 * kMB, 125 * kMB,
+                      125 * kMB);
+  cfg.machine_capacities = {storage, storage, compute, compute};
+  cfg.machines_per_rack = 2;
+  cfg.rack_oversubscription = oversubscription;
+  return cfg;
+}
+
+Workload two_readers() {
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  s.tasks = {reader(1000, 100, 0), reader(1000, 100, 1)};
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+  return w;
+}
+
+TEST(RackTopology, CrossRackReadsShareTheUplink) {
+  // Oversubscription 2: the rack uplink carries 125 MB/s per direction
+  // (2 x 125 / 2). Two 100 MB/s cross-rack readers cannot both be
+  // admitted by Tetris at once: they serialize and run at natural speed.
+  core::TetrisScheduler tetris;
+  const auto r = simulate(racked_cluster(2.0), two_readers(), tetris);
+  ASSERT_TRUE(r.completed);
+  for (const auto& t : r.tasks) {
+    EXPECT_GE(t.host, 2);  // compute rack
+    EXPECT_NEAR(t.duration(), t.natural_duration, 1e-6);
+  }
+  // Serialized: the second starts only after the first releases the
+  // uplink.
+  ASSERT_EQ(r.tasks.size(), 2u);
+  const auto& a = r.tasks[0];
+  const auto& b = r.tasks[1];
+  const double overlap =
+      std::min(a.finish, b.finish) - std::max(a.start, b.start);
+  EXPECT_LE(overlap, 1e-6);
+}
+
+TEST(RackTopology, GenerousUplinkAllowsConcurrency) {
+  core::TetrisScheduler tetris;
+  const auto r = simulate(racked_cluster(1.0), two_readers(), tetris);
+  ASSERT_TRUE(r.completed);
+  const auto& a = r.tasks[0];
+  const auto& b = r.tasks[1];
+  const double overlap =
+      std::min(a.finish, b.finish) - std::max(a.start, b.start);
+  EXPECT_GT(overlap, 1.0);  // both run together at natural speed
+  for (const auto& t : r.tasks) {
+    EXPECT_NEAR(t.duration(), t.natural_duration, 1e-6);
+  }
+}
+
+TEST(RackTopology, RecklessSchedulingContendsOnTheUplink) {
+  // A scheduler that ignores the uplink stacks both cross-rack readers:
+  // the shared 125 MB/s uplink halves their speed (plus incast penalty).
+  class PinScheduler final : public Scheduler {
+   public:
+    std::string name() const override { return "pin"; }
+    void schedule(SchedulerContext& ctx) override {
+      for (auto& g : ctx.runnable_groups()) {
+        while (g.runnable > 0) {
+          Probe p = ctx.probe(g.ref, 2);
+          if (!p.valid || !ctx.place(p)) return;
+          g.runnable--;
+        }
+      }
+    }
+  };
+  PinScheduler pin;
+  const auto r = simulate(racked_cluster(2.0), two_readers(), pin);
+  ASSERT_TRUE(r.completed);
+  for (const auto& t : r.tasks) {
+    EXPECT_GT(t.duration(), t.natural_duration * 1.5);
+  }
+}
+
+TEST(RackTopology, RackLocalReadsSkipTheUplink) {
+  // Reader data on machine 2 (same rack as the compute hosts): even with a
+  // tiny uplink, intra-rack remote reads run at natural speed.
+  SimConfig cfg = racked_cluster(100.0);  // uplink nearly useless
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  s.tasks = {reader(1000, 100, 2), reader(1000, 100, 3)};
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+  core::TetrisScheduler tetris;
+  const auto r = simulate(cfg, w, tetris);
+  ASSERT_TRUE(r.completed);
+  for (const auto& t : r.tasks) {
+    EXPECT_NEAR(t.duration(), t.natural_duration, 1e-6);
+    EXPECT_LT(t.finish, 25);  // no uplink serialization
+  }
+}
+
+TEST(RackTopology, BadRackConfigThrows) {
+  SimConfig cfg = racked_cluster(2.0);
+  cfg.rack_oversubscription = 0;
+  core::TetrisScheduler tetris;
+  EXPECT_THROW(simulate(cfg, Workload{}, tetris), std::invalid_argument);
+  cfg = racked_cluster(2.0);
+  cfg.machines_per_rack = -1;
+  EXPECT_THROW(simulate(cfg, Workload{}, tetris), std::invalid_argument);
+}
+
+TEST(RackTopology, DisabledRackModelIsFlat) {
+  SimConfig cfg = racked_cluster(100.0);
+  cfg.machines_per_rack = 0;  // flat network
+  core::TetrisScheduler tetris;
+  const auto r = simulate(cfg, two_readers(), tetris);
+  ASSERT_TRUE(r.completed);
+  for (const auto& t : r.tasks) {
+    EXPECT_NEAR(t.duration(), t.natural_duration, 1e-6);
+    EXPECT_LT(t.finish, 25);
+  }
+}
+
+}  // namespace
+}  // namespace tetris::sim

@@ -1,0 +1,296 @@
+// Advanced simulator scenarios: deep/diamond DAGs, heterogeneous
+// clusters, estimation modes, stranded work, incast, and accounting
+// invariants under churn.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/tetris_scheduler.h"
+#include "sched/srtf_scheduler.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace tetris::sim {
+namespace {
+
+TaskSpec cpu_task(double cores, double mem_gb, double seconds) {
+  TaskSpec t;
+  t.peak_cores = cores;
+  t.peak_mem = mem_gb * kGB;
+  t.cpu_cycles = cores * seconds;
+  return t;
+}
+
+SimConfig small_cluster(int machines = 2) {
+  SimConfig cfg;
+  cfg.num_machines = machines;
+  cfg.machine_capacity =
+      Resources::full(4, 8 * kGB, 100 * kMB, 100 * kMB, 125 * kMB, 125 * kMB);
+  return cfg;
+}
+
+SimResult run_tetris(const SimConfig& cfg, const Workload& w) {
+  core::TetrisScheduler tetris;
+  return simulate(cfg, w, tetris);
+}
+
+TEST(SimulatorAdvanced, DiamondDagRespectsAllDependencies) {
+  // a -> {b, c} -> d, with shuffles along every edge.
+  Workload w;
+  JobSpec job;
+  StageSpec a, b, c, d;
+  TaskSpec producer = cpu_task(1, 1, 5);
+  producer.output_bytes = 50 * kMB;
+  a.tasks = {producer, producer};
+  const auto consumer = [](int from) {
+    TaskSpec t = cpu_task(1, 1, 3);
+    t.output_bytes = 20 * kMB;
+    InputSplit s;
+    s.bytes = 40 * kMB;
+    s.from_stage = from;
+    t.inputs.push_back(s);
+    return t;
+  };
+  b.deps = {0};
+  b.tasks = {consumer(0)};
+  c.deps = {0};
+  c.tasks = {consumer(0)};
+  d.deps = {1, 2};
+  {
+    TaskSpec t = cpu_task(1, 1, 2);
+    for (int from : {1, 2}) {
+      InputSplit s;
+      s.bytes = 10 * kMB;
+      s.from_stage = from;
+      t.inputs.push_back(s);
+    }
+    d.tasks = {t};
+  }
+  job.stages = {a, b, c, d};
+  w.jobs.push_back(job);
+
+  const auto r = run_tetris(small_cluster(), w);
+  ASSERT_TRUE(r.completed);
+  std::map<int, SimTime> done;
+  std::map<int, SimTime> started;
+  for (const auto& t : r.tasks) {
+    done[t.stage] = std::max(done[t.stage], t.finish);
+    started.try_emplace(t.stage, 1e18);
+    started[t.stage] = std::min(started[t.stage], t.start);
+  }
+  EXPECT_GE(started[1], done[0]);
+  EXPECT_GE(started[2], done[0]);
+  EXPECT_GE(started[3], std::max(done[1], done[2]));
+}
+
+TEST(SimulatorAdvanced, DeepChainExecutesInOrder) {
+  Workload w;
+  JobSpec job;
+  for (int s = 0; s < 6; ++s) {
+    StageSpec stage;
+    TaskSpec t = cpu_task(1, 1, 2);
+    t.output_bytes = 10 * kMB;
+    if (s > 0) {
+      stage.deps = {s - 1};
+      InputSplit split;
+      split.bytes = 10 * kMB;
+      split.from_stage = s - 1;
+      t.inputs.push_back(split);
+    }
+    stage.tasks = {t};
+    job.stages.push_back(stage);
+  }
+  w.jobs.push_back(job);
+  const auto r = run_tetris(small_cluster(), w);
+  ASSERT_TRUE(r.completed);
+  SimTime prev_finish = 0;
+  std::map<int, SimTime> finish;
+  for (const auto& t : r.tasks) finish[t.stage] = t.finish;
+  for (int s = 0; s < 6; ++s) {
+    EXPECT_GT(finish[s], prev_finish);
+    prev_finish = finish[s];
+  }
+}
+
+TEST(SimulatorAdvanced, HeterogeneousClusterPlacesBigTasksOnBigMachine) {
+  SimConfig cfg;
+  cfg.machine_capacities = {
+      Resources::full(2, 4 * kGB, 100 * kMB, 100 * kMB, 125 * kMB, 125 * kMB),
+      Resources::full(16, 64 * kGB, 400 * kMB, 400 * kMB, 1250 * kMB,
+                      1250 * kMB)};
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  for (int i = 0; i < 3; ++i) s.tasks.push_back(cpu_task(8, 16, 5));
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+  const auto r = run_tetris(cfg, w);
+  ASSERT_TRUE(r.completed);
+  for (const auto& t : r.tasks) EXPECT_EQ(t.host, 1);
+}
+
+TEST(SimulatorAdvanced, StrandedTaskLeavesRunIncomplete) {
+  // A task that no machine can ever hold: the run must terminate at
+  // max_time with completed == false instead of looping forever.
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  s.tasks = {cpu_task(64, 1, 5)};  // 64 cores on a 4-core cluster
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+  SimConfig cfg = small_cluster(1);
+  cfg.max_time = 50;
+  const auto r = run_tetris(cfg, w);
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.tasks.empty());
+}
+
+TEST(SimulatorAdvanced, IncastManySendersOneReceiver) {
+  // 6 senders' worth of data pulled by one host: aggregate demand exceeds
+  // the NIC under a reckless scheduler and the incast penalty bites.
+  class PinScheduler final : public Scheduler {
+   public:
+    std::string name() const override { return "pin"; }
+    void schedule(SchedulerContext& ctx) override {
+      for (auto& g : ctx.runnable_groups()) {
+        while (g.runnable > 0) {
+          Probe p = ctx.probe(g.ref, 6);  // host everything on machine 6
+          if (!p.valid || !ctx.place(p)) return;
+          g.runnable--;
+        }
+      }
+    }
+  };
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  for (int i = 0; i < 6; ++i) {
+    TaskSpec t;
+    t.peak_cores = 0.25;
+    t.peak_mem = 0.5 * kGB;
+    t.max_io_bw = 50 * kMB;
+    InputSplit split;
+    split.bytes = 250 * kMB;  // 5s at 50 MB/s
+    split.replicas = {i};     // all remote to machine 6
+    t.inputs.push_back(split);
+    s.tasks.push_back(t);
+  }
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+  PinScheduler pin;
+  const auto r = simulate(small_cluster(7), w, pin);
+  ASSERT_TRUE(r.completed);
+  // 6 x 50 = 300 MB/s of demand into a 125 MB/s NIC with the incast
+  // penalty: tasks run at well under half speed.
+  int slowed = 0;
+  for (const auto& t : r.tasks) {
+    if (t.duration() > t.natural_duration * 2.0) slowed++;
+  }
+  EXPECT_GE(slowed, 5);
+}
+
+TEST(SimulatorAdvanced, NoisyEstimatesCauseContentionButTrackerRecovers) {
+  // Systematic *under*-estimation: even Tetris admits too much; tasks slow
+  // down, but the run still completes and no accounting breaks.
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  for (int i = 0; i < 12; ++i) {
+    TaskSpec t;
+    t.peak_cores = 1;
+    t.peak_mem = 1 * kGB;
+    t.max_io_bw = 100 * kMB;
+    InputSplit split;
+    split.bytes = 400 * kMB;
+    split.replicas = {0, 1};
+    t.inputs.push_back(split);
+    s.tasks.push_back(t);
+  }
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+  SimConfig cfg = small_cluster(2);
+  cfg.estimation.mode = EstimationMode::kNoisy;
+  cfg.estimation.noise_cov = 0.8;
+  cfg.seed = 5;
+  const auto r = run_tetris(cfg, w);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks.size(), 12u);
+}
+
+TEST(SimulatorAdvanced, SchedulerCostAccountingIsPopulated) {
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  for (int i = 0; i < 8; ++i) s.tasks.push_back(cpu_task(1, 1, 5));
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+  const auto r = run_tetris(small_cluster(), w);
+  ASSERT_TRUE(r.completed);
+  EXPECT_GT(r.scheduler_cost.invocations, 0);
+  EXPECT_EQ(r.scheduler_cost.placements, 8);
+  EXPECT_GE(r.scheduler_cost.total_seconds, 0);
+  EXPECT_GE(r.scheduler_cost.max_seconds, 0);
+  EXPECT_LE(r.scheduler_cost.mean_seconds(), r.scheduler_cost.max_seconds);
+}
+
+TEST(SimulatorAdvanced, RecurringTemplatesProfileAcrossJobs) {
+  // Two identical recurring jobs; with kLearnedProfile the second job's
+  // stages are estimated from the first's history, so the second is not
+  // slower than the first despite over-estimation of unprofiled stages.
+  Workload w;
+  for (int j = 0; j < 2; ++j) {
+    JobSpec job;
+    job.template_id = 5;
+    job.arrival = j * 100.0;
+    StageSpec s;
+    for (int i = 0; i < 8; ++i) s.tasks.push_back(cpu_task(1, 3, 10));
+    job.stages.push_back(s);
+    w.jobs.push_back(job);
+  }
+  SimConfig cfg = small_cluster(1);
+  cfg.estimation.mode = EstimationMode::kLearnedProfile;
+  cfg.estimation.overestimate_factor = 2.0;
+  cfg.estimation.profile_after = 1000;  // only template history helps
+  cfg.tracker = TrackerMode::kAllocation;
+  const auto r = run_tetris(cfg, w);
+  ASSERT_TRUE(r.completed);
+  EXPECT_LE(r.jobs[1].completion_time(), r.jobs[0].completion_time() + 1.0);
+}
+
+TEST(SimulatorAdvanced, ZeroHeartbeatWorkloadStillTerminates) {
+  // No jobs at all, but activities scheduled: the run drains immediately.
+  Workload w;
+  SimConfig cfg = small_cluster(1);
+  BackgroundActivity act;
+  act.machine = 0;
+  act.start = 5;
+  act.end = 10;
+  act.usage[Resource::kDiskRead] = 50 * kMB;
+  cfg.activities.push_back(act);
+  const auto r = run_tetris(cfg, w);
+  EXPECT_TRUE(r.completed);
+}
+
+TEST(SimulatorAdvanced, ManySmallJobsConserveCounts) {
+  Workload w;
+  for (int j = 0; j < 50; ++j) {
+    JobSpec job;
+    job.arrival = j * 2.0;
+    StageSpec s;
+    s.tasks = {cpu_task(1, 1, 3)};
+    job.stages.push_back(s);
+    w.jobs.push_back(job);
+  }
+  sched::SrtfScheduler srtf;
+  const auto r = simulate(small_cluster(2), w, srtf);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.jobs.size(), 50u);
+  EXPECT_EQ(r.tasks.size(), 50u);
+  for (const auto& j : r.jobs) {
+    EXPECT_GE(j.finish, j.arrival);
+  }
+}
+
+}  // namespace
+}  // namespace tetris::sim

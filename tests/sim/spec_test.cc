@@ -1,0 +1,162 @@
+#include "sim/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace tetris::sim {
+namespace {
+
+TaskSpec ok_task() {
+  TaskSpec t;
+  t.peak_cores = 1;
+  t.peak_mem = 1 * kGB;
+  t.cpu_cycles = 10;
+  return t;
+}
+
+JobSpec two_stage_job() {
+  JobSpec job;
+  job.name = "j";
+  StageSpec map;
+  map.tasks = {ok_task(), ok_task()};
+  StageSpec reduce;
+  reduce.deps = {0};
+  TaskSpec r = ok_task();
+  InputSplit split;
+  split.bytes = 100;
+  split.from_stage = 0;
+  r.inputs.push_back(split);
+  reduce.tasks = {r};
+  job.stages = {map, reduce};
+  return job;
+}
+
+TEST(SpecValidate, AcceptsWellFormedJob) {
+  EXPECT_EQ(validate(two_stage_job()), "");
+}
+
+TEST(SpecValidate, RejectsJobWithoutStages) {
+  JobSpec job;
+  job.name = "empty";
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsEmptyStage) {
+  JobSpec job;
+  job.stages.push_back({});
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsNegativeArrival) {
+  JobSpec job = two_stage_job();
+  job.arrival = -1;
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsOutOfRangeDep) {
+  JobSpec job = two_stage_job();
+  job.stages[1].deps = {7};
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsSelfDep) {
+  JobSpec job = two_stage_job();
+  job.stages[1].deps = {1};
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsDependencyCycle) {
+  JobSpec job = two_stage_job();
+  // 0 -> 1 already; add 1 -> 0 to close the cycle.
+  job.stages[0].deps = {1};
+  // Remove the shuffle split so the only problem is the cycle.
+  const auto msg = validate(job);
+  EXPECT_NE(msg.find("cycle"), std::string::npos) << msg;
+}
+
+TEST(SpecValidate, AcceptsDiamondDag) {
+  JobSpec job;
+  StageSpec a, b, c, d;
+  a.tasks = b.tasks = c.tasks = d.tasks = {ok_task()};
+  b.deps = {0};
+  c.deps = {0};
+  d.deps = {1, 2};
+  job.stages = {a, b, c, d};
+  EXPECT_EQ(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsNegativeWork) {
+  JobSpec job = two_stage_job();
+  job.stages[0].tasks[0].cpu_cycles = -1;
+  EXPECT_NE(validate(job), "");
+  job = two_stage_job();
+  job.stages[0].tasks[0].output_bytes = -5;
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsNegativeDemands) {
+  JobSpec job = two_stage_job();
+  job.stages[0].tasks[0].peak_cores = -1;
+  EXPECT_NE(validate(job), "");
+  job = two_stage_job();
+  job.stages[0].tasks[0].max_io_bw = 0;
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, AllowsZeroCoresWithoutCompute) {
+  JobSpec job = two_stage_job();
+  job.stages[1].tasks[0].peak_cores = 0;
+  job.stages[1].tasks[0].cpu_cycles = 0;
+  EXPECT_EQ(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsComputeWithoutCores) {
+  JobSpec job = two_stage_job();
+  job.stages[0].tasks[0].peak_cores = 0;  // but cpu_cycles = 10
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsShuffleFromNonDependency) {
+  JobSpec job = two_stage_job();
+  // Stage 1 reads stage 0 legitimately; make a stage 2 that reads stage 0
+  // without depending on it.
+  StageSpec bad;
+  TaskSpec t = ok_task();
+  InputSplit split;
+  split.bytes = 10;
+  split.from_stage = 0;
+  t.inputs.push_back(split);
+  bad.tasks = {t};
+  bad.deps = {1};
+  job.stages.push_back(bad);
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsNegativeSplitBytes) {
+  JobSpec job = two_stage_job();
+  InputSplit split;
+  split.bytes = -1;
+  job.stages[0].tasks[0].inputs.push_back(split);
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, WorkloadAggregatesJobErrors) {
+  Workload w;
+  w.jobs.push_back(two_stage_job());
+  EXPECT_EQ(validate(w), "");
+  JobSpec bad;
+  w.jobs.push_back(bad);
+  EXPECT_NE(validate(w), "");
+}
+
+TEST(Spec, TotalTasksCountsAllStages) {
+  Workload w;
+  w.jobs.push_back(two_stage_job());
+  w.jobs.push_back(two_stage_job());
+  EXPECT_EQ(w.total_tasks(), 6u);
+  EXPECT_EQ(Workload{}.total_tasks(), 0u);
+}
+
+}  // namespace
+}  // namespace tetris::sim

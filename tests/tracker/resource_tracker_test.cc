@@ -1,0 +1,124 @@
+#include "tracker/resource_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace tetris::tracker {
+namespace {
+
+Resources cap() { return Resources::of(4, 8 * kGB, 100, 125); }
+
+TEST(ResourceTracker, ReportsFullAvailabilityWhenIdle) {
+  ResourceTracker t(cap());
+  const auto r = t.report(0);
+  EXPECT_TRUE(r.charged_usage.is_zero());
+  EXPECT_EQ(r.available, cap());
+}
+
+TEST(ResourceTracker, ObservedUsageReducesAvailability) {
+  ResourceTracker t(cap());
+  Resources u;
+  u[Resource::kDiskRead] = 60;
+  t.observe_usage(u, 0);
+  const auto r = t.report(0);
+  EXPECT_EQ(r.charged_usage[Resource::kDiskRead], 60);
+  EXPECT_EQ(r.available[Resource::kDiskRead], 40);
+}
+
+TEST(ResourceTracker, EwmaSmoothsObservations) {
+  TrackerConfig cfg;
+  cfg.usage_ewma_alpha = 0.5;
+  ResourceTracker t(cap(), cfg);
+  Resources u;
+  u[Resource::kCpu] = 4;
+  t.observe_usage(u, 0);  // first observation taken as-is
+  t.observe_usage(Resources{}, 1);
+  EXPECT_NEAR(t.report(1).charged_usage[Resource::kCpu], 2.0, 1e-12);
+  t.observe_usage(Resources{}, 2);
+  EXPECT_NEAR(t.report(2).charged_usage[Resource::kCpu], 1.0, 1e-12);
+}
+
+TEST(ResourceTracker, RampAllowanceDecaysToZero) {
+  TrackerConfig cfg;
+  cfg.ramp_up_window = 10;
+  cfg.ramp_allowance_fraction = 0.5;
+  ResourceTracker t(cap(), cfg);
+  Resources expected;
+  expected[Resource::kNetIn] = 100;
+  t.on_task_start(1, expected, 0);
+  EXPECT_NEAR(t.report(0).charged_usage[Resource::kNetIn], 50, 1e-9);
+  EXPECT_NEAR(t.report(5).charged_usage[Resource::kNetIn], 25, 1e-9);
+  EXPECT_NEAR(t.report(10).charged_usage[Resource::kNetIn], 0, 1e-9);
+  EXPECT_NEAR(t.report(100).charged_usage[Resource::kNetIn], 0, 1e-9);
+}
+
+TEST(ResourceTracker, TaskFinishDropsAllowance) {
+  ResourceTracker t(cap());
+  Resources expected;
+  expected[Resource::kCpu] = 2;
+  t.on_task_start(7, expected, 0);
+  EXPECT_GT(t.report(1).charged_usage[Resource::kCpu], 0);
+  t.on_task_finish(7);
+  EXPECT_EQ(t.report(1).charged_usage[Resource::kCpu], 0);
+}
+
+TEST(ResourceTracker, AllowancesStackAcrossTasks) {
+  TrackerConfig cfg;
+  cfg.ramp_allowance_fraction = 1.0;
+  ResourceTracker t(cap(), cfg);
+  Resources expected;
+  expected[Resource::kCpu] = 1;
+  t.on_task_start(1, expected, 0);
+  t.on_task_start(2, expected, 0);
+  EXPECT_NEAR(t.report(0).charged_usage[Resource::kCpu], 2.0, 1e-12);
+}
+
+TEST(ResourceTracker, ChargedUsageClampsToCapacity) {
+  ResourceTracker t(cap());
+  Resources u;
+  u[Resource::kDiskRead] = 1000;
+  t.observe_usage(u, 0);
+  const auto r = t.report(0);
+  EXPECT_EQ(r.charged_usage[Resource::kDiskRead], 100);
+  EXPECT_EQ(r.available[Resource::kDiskRead], 0);
+}
+
+TEST(ResourceTracker, RestartedTaskRestartsItsAllowanceClock) {
+  ResourceTracker t(cap());
+  Resources expected;
+  expected[Resource::kCpu] = 2;
+  t.on_task_start(1, expected, 0);
+  t.on_task_start(1, expected, 100);  // re-registration resets the clock
+  EXPECT_GT(t.report(100).charged_usage[Resource::kCpu], 0);
+}
+
+TEST(ResourceTracker, RejectsBadConfig) {
+  TrackerConfig bad;
+  bad.ramp_up_window = 0;
+  EXPECT_THROW(ResourceTracker(cap(), bad), std::invalid_argument);
+  bad = TrackerConfig{};
+  bad.usage_ewma_alpha = 0;
+  EXPECT_THROW(ResourceTracker(cap(), bad), std::invalid_argument);
+  bad.usage_ewma_alpha = 1.5;
+  EXPECT_THROW(ResourceTracker(cap(), bad), std::invalid_argument);
+}
+
+TEST(ResourceTracker, UsagePlusAllowanceCombine) {
+  TrackerConfig cfg;
+  cfg.ramp_allowance_fraction = 0.5;
+  cfg.usage_ewma_alpha = 1.0;
+  ResourceTracker t(cap(), cfg);
+  Resources u;
+  u[Resource::kDiskRead] = 40;
+  t.observe_usage(u, 0);
+  Resources expected;
+  expected[Resource::kDiskRead] = 40;
+  t.on_task_start(1, expected, 0);
+  // 40 observed + 20 allowance.
+  EXPECT_NEAR(t.report(0).charged_usage[Resource::kDiskRead], 60, 1e-9);
+  EXPECT_NEAR(t.report(0).available[Resource::kDiskRead], 40, 1e-9);
+}
+
+}  // namespace
+}  // namespace tetris::tracker

@@ -1,0 +1,95 @@
+#include "tracker/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris::tracker {
+namespace {
+
+TEST(TokenBucket, StartsFullAndAllowsBurst) {
+  TokenBucket b(/*rate=*/10, /*burst=*/100);
+  EXPECT_TRUE(b.try_consume(100, 0));
+  EXPECT_FALSE(b.try_consume(1, 0));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket b(10, 100);
+  ASSERT_TRUE(b.try_consume(100, 0));
+  EXPECT_FALSE(b.try_consume(50, 1));  // only 10 tokens back
+  EXPECT_TRUE(b.try_consume(50, 5));   // 50 accrued by t=5
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket b(10, 100);
+  ASSERT_TRUE(b.try_consume(100, 0));
+  EXPECT_NEAR(b.tokens(1000), 100, 1e-9);
+  EXPECT_TRUE(b.try_consume(100, 1000));
+  EXPECT_FALSE(b.try_consume(1, 1000));
+}
+
+TEST(TokenBucket, EarliestIsNowWhenTokensAvailable) {
+  TokenBucket b(10, 100);
+  EXPECT_EQ(b.earliest(50, 3), 3);
+}
+
+TEST(TokenBucket, EarliestComputesWaitTime) {
+  TokenBucket b(10, 100);
+  ASSERT_TRUE(b.try_consume(100, 0));
+  // Needs 40 tokens: 4 seconds at rate 10.
+  EXPECT_NEAR(b.earliest(40, 0), 4.0, 1e-9);
+}
+
+TEST(TokenBucket, ConsumeAdvancesAndDeducts) {
+  TokenBucket b(10, 100);
+  ASSERT_TRUE(b.try_consume(100, 0));
+  const SimTime when = b.consume(40, 0);
+  EXPECT_NEAR(when, 4.0, 1e-9);
+  EXPECT_NEAR(b.tokens(when), 0.0, 1e-9);
+}
+
+TEST(TokenBucket, OversizedRequestWaitsForFullBucketThenOverdraws) {
+  TokenBucket b(10, 100);
+  ASSERT_TRUE(b.try_consume(100, 0));
+  // 250 tokens > burst: completes when the bucket is full (t=10), then
+  // overdraws.
+  const SimTime when = b.consume(250, 0);
+  EXPECT_NEAR(when, 10.0, 1e-9);
+  EXPECT_LT(b.tokens(when), 0.0);
+}
+
+TEST(TokenBucket, SetRateSettlesAccruedTokensFirst) {
+  TokenBucket b(10, 100);
+  ASSERT_TRUE(b.try_consume(100, 0));
+  b.set_rate(100, 5);  // 50 tokens accrued at the old rate
+  EXPECT_NEAR(b.tokens(5), 50, 1e-9);
+  EXPECT_NEAR(b.tokens(5.5), 100, 1e-9);  // caps at burst with new rate
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket b(0, 10);
+  ASSERT_TRUE(b.try_consume(10, 0));
+  EXPECT_FALSE(b.try_consume(1, 1e9));
+  EXPECT_GT(b.earliest(5, 0), 1e17);
+}
+
+TEST(TokenBucket, RejectsBadConstruction) {
+  EXPECT_THROW(TokenBucket(-1, 10), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(10, 0), std::invalid_argument);
+}
+
+TEST(TokenBucket, RejectsTimeGoingBackwards) {
+  TokenBucket b(10, 100);
+  ASSERT_TRUE(b.try_consume(10, 5));
+  EXPECT_THROW(b.try_consume(1, 4), std::logic_error);
+}
+
+TEST(TokenBucket, EnforcesLongRunAverageRate) {
+  // Pushing a stream through the bucket cannot beat the allocated rate:
+  // 1000 one-MB calls at rate 10/s from a 50 burst take >= ~95s.
+  TokenBucket b(10, 50);
+  SimTime now = 0;
+  for (int i = 0; i < 1000; ++i) now = b.consume(1, now);
+  EXPECT_GE(now, (1000.0 - 50.0) / 10.0 - 1e-6);
+}
+
+}  // namespace
+}  // namespace tetris::tracker

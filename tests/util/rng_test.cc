@@ -1,0 +1,170 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/stats.h"
+
+namespace tetris {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng a(7);
+  Rng child = a.fork();
+  const double first = child.uniform(0, 1);
+  // A fresh parent forked identically produces the same child stream.
+  Rng a2(7);
+  Rng child2 = a2.fork();
+  EXPECT_EQ(child2.uniform(0, 1), first);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2, 5);
+    EXPECT_GE(x, -2);
+    EXPECT_LT(x, 5);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.exponential(5.0));
+  EXPECT_NEAR(mean(xs), 5.0, 0.2);
+}
+
+TEST(Rng, LognormalHitsTargetMeanAndCov) {
+  Rng rng(13);
+  for (const double cov : {0.3, 1.0, 2.6}) {
+    std::vector<double> xs;
+    for (int i = 0; i < 200000; ++i) {
+      xs.push_back(rng.lognormal_mean_cov(10.0, cov));
+    }
+    const auto s = summarize(xs);
+    EXPECT_NEAR(s.mean, 10.0, 10.0 * 0.05 * (1 + cov)) << "cov=" << cov;
+    EXPECT_NEAR(s.cov, cov, cov * 0.15) << "cov=" << cov;
+  }
+}
+
+TEST(Rng, LognormalZeroCovIsDeterministic) {
+  Rng rng(1);
+  EXPECT_EQ(rng.lognormal_mean_cov(7.0, 0.0), 7.0);
+}
+
+TEST(Rng, LognormalRejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.lognormal_mean_cov(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.lognormal_mean_cov(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng.lognormal_mean_cov(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(Rng, BoundedParetoStaysInBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.bounded_pareto(2.0, 100.0, 1.1);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(Rng, BoundedParetoIsHeavyTailed) {
+  Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i)
+    xs.push_back(rng.bounded_pareto(1.0, 1000.0, 1.1));
+  const auto s = summarize(xs);
+  // Median near the low bound, mean pulled well above it by the tail.
+  EXPECT_LT(s.p50, 3.0);
+  EXPECT_GT(s.mean, 2.0 * s.p50);
+  EXPECT_GT(s.max, 100.0);
+}
+
+TEST(Rng, BoundedParetoRejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_THROW(rng.bounded_pareto(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(rng.bounded_pareto(5, 5, 1), std::invalid_argument);
+  EXPECT_THROW(rng.bounded_pareto(1, 10, 0), std::invalid_argument);
+}
+
+TEST(Rng, WeightedPickFollowsWeights) {
+  Rng rng(23);
+  const double weights[] = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.weighted_pick(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.4);
+}
+
+TEST(Rng, WeightedPickRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.weighted_pick({}), std::invalid_argument);
+  const double zeros[] = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_pick(zeros), std::invalid_argument);
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(29);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto picks = rng.sample_without_replacement(20, 5);
+    ASSERT_EQ(picks.size(), 5u);
+    std::set<std::size_t> unique(picks.begin(), picks.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (auto p : picks) EXPECT_LT(p, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementCapsAtPopulation) {
+  Rng rng(31);
+  const auto picks = rng.sample_without_replacement(3, 10);
+  EXPECT_EQ(picks.size(), 3u);
+}
+
+TEST(Rng, SampleWithoutReplacementIsUnbiased) {
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    for (auto p : rng.sample_without_replacement(10, 3)) counts[p]++;
+  }
+  // Each index should be picked ~ 20000 * 3/10 = 6000 times.
+  for (int c : counts) EXPECT_NEAR(c, 6000, 400);
+}
+
+}  // namespace
+}  // namespace tetris

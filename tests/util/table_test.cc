@@ -1,0 +1,101 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace tetris {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h", "x"});
+  t.add_row({"longcell", "1"});
+  const std::string s = t.to_string();
+  // The header line pads "h" to at least the width of "longcell".
+  const auto first_line = s.substr(0, s.find('\n'));
+  EXPECT_GE(first_line.find('x'), std::string("longcell").size());
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, AddRowValuesFormatsDoubles) {
+  Table t({"a", "b"});
+  t.add_row_values({1.23456, 2.0}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSeparatorsAndQuotes) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, CsvPlainCellsUnquoted) {
+  Table t({"a"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.to_csv(), "a\nplain\n");
+}
+
+TEST(FormatHelpers, Doubles) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(3.0, 0), "3");
+  EXPECT_EQ(format_double(-1.5, 1), "-1.5");
+}
+
+TEST(FormatHelpers, Percent) {
+  EXPECT_EQ(format_percent(0.283), "28.3%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+  EXPECT_EQ(format_percent(-0.05, 1), "-5.0%");
+}
+
+TEST(WriteFile, CreatesParentDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "tetris_table_test" / "nested";
+  const auto path = dir / "out.txt";
+  std::filesystem::remove_all(dir.parent_path());
+  ASSERT_TRUE(write_file(path.string(), "hello"));
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "hello");
+  std::filesystem::remove_all(dir.parent_path());
+}
+
+TEST(WriteFile, OverwritesExisting) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "tetris_overwrite.txt";
+  ASSERT_TRUE(write_file(path.string(), "first"));
+  ASSERT_TRUE(write_file(path.string(), "second"));
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "second");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,110 @@
+#include "workload/bing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/tetris_scheduler.h"
+#include "sim/simulator.h"
+
+namespace tetris::workload {
+namespace {
+
+BingConfig small_bing() {
+  BingConfig cfg;
+  cfg.num_jobs = 60;
+  cfg.num_machines = 12;
+  cfg.task_scale = 0.4;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Bing, ValidatesAndHasDeepDags) {
+  const auto w = make_bing_workload(small_bing());
+  EXPECT_EQ(sim::validate(w), "");
+  std::size_t max_stages = 0;
+  double mean_stages = 0;
+  for (const auto& job : w.jobs) {
+    max_stages = std::max(max_stages, job.stages.size());
+    mean_stages += static_cast<double>(job.stages.size());
+  }
+  mean_stages /= static_cast<double>(w.jobs.size());
+  EXPECT_GE(max_stages, 6u);   // "large DAG depth" (Table 1)
+  EXPECT_GT(mean_stages, 3.0);
+}
+
+TEST(Bing, ContainsDiamonds) {
+  auto cfg = small_bing();
+  cfg.diamond_fraction = 0.8;
+  const auto w = make_bing_workload(cfg);
+  int diamonds = 0;
+  for (const auto& job : w.jobs) {
+    for (const auto& stage : job.stages) {
+      if (stage.deps.size() >= 2) diamonds++;  // a fan-in joins a diamond
+    }
+  }
+  EXPECT_GT(diamonds, 0);
+}
+
+TEST(Bing, ShuffleEdgesFollowDependencies) {
+  const auto w = make_bing_workload(small_bing());
+  for (const auto& job : w.jobs) {
+    for (const auto& stage : job.stages) {
+      for (const auto& task : stage.tasks) {
+        for (const auto& split : task.inputs) {
+          if (split.from_stage >= 0) {
+            EXPECT_NE(std::find(stage.deps.begin(), stage.deps.end(),
+                                split.from_stage),
+                      stage.deps.end());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Bing, RunsEndToEndUnderTetris) {
+  auto cfg = small_bing();
+  cfg.num_jobs = 25;
+  const auto w = make_bing_workload(cfg);
+  sim::SimConfig sim_cfg;
+  sim_cfg.num_machines = cfg.num_machines;
+  sim_cfg.machine_capacity = bing_machine();
+  sim_cfg.tracker = sim::TrackerMode::kUsage;
+  core::TetrisScheduler tetris;
+  const auto r = sim::simulate(sim_cfg, w, tetris);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks.size(), w.total_tasks());
+  // Admission invariant holds on deep DAGs too.
+  for (const auto& t : r.tasks) {
+    EXPECT_NEAR(t.duration(), t.natural_duration, 1e-6);
+  }
+}
+
+TEST(Bing, MachineProfileHasTenGigNics) {
+  const Resources m = bing_machine();
+  EXPECT_DOUBLE_EQ(m[Resource::kNetIn], 10 * kGbps);
+  EXPECT_DOUBLE_EQ(m[Resource::kNetOut], 10 * kGbps);
+}
+
+TEST(Bing, TaskDemandsFitTheMachineProfile) {
+  const auto w = make_bing_workload(small_bing());
+  const Resources m = bing_machine();
+  for (const auto& job : w.jobs) {
+    for (const auto& stage : job.stages) {
+      for (const auto& task : stage.tasks) {
+        EXPECT_LE(task.peak_cores, m[Resource::kCpu]);
+        EXPECT_LE(task.peak_mem, m[Resource::kMem]);
+      }
+    }
+  }
+}
+
+TEST(Bing, DeterministicPerSeed) {
+  const auto a = make_bing_workload(small_bing());
+  const auto b = make_bing_workload(small_bing());
+  EXPECT_EQ(a.total_tasks(), b.total_tasks());
+}
+
+}  // namespace
+}  // namespace tetris::workload

@@ -1,0 +1,235 @@
+// Tests of the workload generators: structural validity, the §5.1 class
+// mix, the Facebook-like trace's distributional properties, and the
+// motivating example's shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/workload_analysis.h"
+#include "sim/spec.h"
+#include "util/stats.h"
+#include "workload/facebook.h"
+#include "workload/motivating.h"
+#include "workload/profiles.h"
+#include "workload/suite.h"
+
+namespace tetris::workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// §5.1 suite
+
+SuiteConfig small_suite() {
+  SuiteConfig cfg;
+  cfg.num_jobs = 40;
+  cfg.num_machines = 10;
+  cfg.task_scale = 0.05;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(Suite, GeneratesRequestedJobCountAndValidates) {
+  const auto w = make_suite_workload(small_suite());
+  EXPECT_EQ(w.jobs.size(), 40u);
+  EXPECT_EQ(sim::validate(w), "");
+}
+
+TEST(Suite, EveryJobIsMapReduce) {
+  const auto w = make_suite_workload(small_suite());
+  for (const auto& job : w.jobs) {
+    ASSERT_EQ(job.stages.size(), 2u);
+    EXPECT_TRUE(job.stages[0].deps.empty());
+    EXPECT_EQ(job.stages[1].deps, std::vector<int>{0});
+    // Reduces shuffle from the map stage.
+    for (const auto& t : job.stages[1].tasks) {
+      ASSERT_EQ(t.inputs.size(), 1u);
+      EXPECT_EQ(t.inputs[0].from_stage, 0);
+    }
+  }
+}
+
+TEST(Suite, ArrivalsRespectWindow) {
+  auto cfg = small_suite();
+  cfg.arrival_window = 500;
+  const auto w = make_suite_workload(cfg);
+  for (const auto& job : w.jobs) {
+    EXPECT_GE(job.arrival, 0);
+    EXPECT_LE(job.arrival, 500);
+  }
+  cfg.arrival_window = 0;
+  const auto batch = make_suite_workload(cfg);
+  for (const auto& job : batch.jobs) EXPECT_EQ(job.arrival, 0);
+}
+
+TEST(Suite, ReplicasStayWithinCluster) {
+  const auto w = make_suite_workload(small_suite());
+  for (const auto& job : w.jobs) {
+    for (const auto& stage : job.stages) {
+      for (const auto& task : stage.tasks) {
+        for (const auto& split : task.inputs) {
+          for (auto r : split.replicas) {
+            EXPECT_GE(r, 0);
+            EXPECT_LT(r, 10);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Suite, TaskScaleScalesSizes) {
+  auto cfg = small_suite();
+  cfg.task_scale = 0.05;
+  const auto small = make_suite_workload(cfg);
+  cfg.task_scale = 0.5;
+  const auto big = make_suite_workload(cfg);
+  EXPECT_GT(big.total_tasks(), small.total_tasks() * 5);
+}
+
+TEST(Suite, ContainsMultipleSizeClasses) {
+  auto cfg = small_suite();
+  cfg.num_jobs = 100;
+  const auto w = make_suite_workload(cfg);
+  std::set<std::string> prefixes;
+  for (const auto& job : w.jobs) {
+    prefixes.insert(job.name.substr(0, job.name.rfind('-')));
+  }
+  EXPECT_EQ(prefixes.size(), 4u);  // the four §5.1 classes
+}
+
+TEST(Suite, RecurringFractionAssignsTemplates) {
+  auto cfg = small_suite();
+  cfg.num_jobs = 200;
+  cfg.recurring_fraction = 0.5;
+  const auto w = make_suite_workload(cfg);
+  int recurring = 0;
+  for (const auto& job : w.jobs) {
+    if (job.template_id >= 0) {
+      recurring++;
+      EXPECT_LT(job.template_id, cfg.num_templates);
+    }
+  }
+  EXPECT_NEAR(recurring, 100, 25);
+}
+
+TEST(Suite, DeterministicForSeed) {
+  const auto a = make_suite_workload(small_suite());
+  const auto b = make_suite_workload(small_suite());
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_EQ(a.total_tasks(), b.total_tasks());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].arrival, b.jobs[j].arrival);
+    EXPECT_EQ(a.jobs[j].name, b.jobs[j].name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Facebook-like trace
+
+FacebookConfig small_fb() {
+  FacebookConfig cfg;
+  cfg.num_jobs = 150;
+  cfg.num_machines = 20;
+  cfg.task_scale = 0.3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Facebook, ValidatesAndHasHeavyTail) {
+  const auto w = make_facebook_workload(small_fb());
+  EXPECT_EQ(sim::validate(w), "");
+  std::vector<double> sizes;
+  for (const auto& job : w.jobs) {
+    sizes.push_back(static_cast<double>(job.stages[0].tasks.size()));
+  }
+  const auto s = summarize(sizes);
+  EXPECT_GT(s.max, 10 * s.p50);  // a few huge jobs dominate
+}
+
+TEST(Facebook, DemandsAreDiverseAndWeaklyCorrelated) {
+  auto cfg = small_fb();
+  cfg.num_jobs = 300;
+  const auto w = make_facebook_workload(cfg);
+  const auto samples = analysis::collect_demand_samples(w);
+  const auto covs = analysis::demand_covs(samples);
+  // Order-of-magnitude diversity on every attribute (paper: 1.5-2.6).
+  for (double cov : covs) EXPECT_GT(cov, 0.6);
+  const auto corr = analysis::demand_correlations(samples);
+  // cores-vs-mem and cores-vs-io stay weak as in Table 2.
+  EXPECT_LT(std::abs(corr[0][1]), 0.35);
+  EXPECT_LT(std::abs(corr[0][2]), 0.35);
+  EXPECT_LT(std::abs(corr[0][3]), 0.35);
+}
+
+TEST(Facebook, DeepDagsPresentAndWellFormed) {
+  auto cfg = small_fb();
+  cfg.deep_dag_fraction = 0.5;
+  const auto w = make_facebook_workload(cfg);
+  int deep = 0;
+  for (const auto& job : w.jobs) {
+    if (job.stages.size() > 2) deep++;
+    for (std::size_t s = 1; s < job.stages.size(); ++s) {
+      EXPECT_EQ(job.stages[s].deps,
+                std::vector<int>{static_cast<int>(s) - 1});
+    }
+  }
+  EXPECT_GT(deep, 0);
+}
+
+TEST(Facebook, TaskDemandsFitTheReferenceMachine) {
+  const auto w = make_facebook_workload(small_fb());
+  const Resources machine = facebook_machine();
+  for (const auto& job : w.jobs) {
+    for (const auto& stage : job.stages) {
+      for (const auto& task : stage.tasks) {
+        EXPECT_LE(task.peak_cores, machine[Resource::kCpu]);
+        EXPECT_LE(task.peak_mem, machine[Resource::kMem]);
+      }
+    }
+  }
+}
+
+TEST(Facebook, SeedsProduceDifferentTraces) {
+  auto cfg = small_fb();
+  const auto a = make_facebook_workload(cfg);
+  cfg.seed = 99;
+  const auto b = make_facebook_workload(cfg);
+  EXPECT_NE(a.total_tasks(), b.total_tasks());
+}
+
+// ---------------------------------------------------------------------------
+// Motivating example
+
+TEST(Motivating, MatchesPaperShape) {
+  const auto ex = make_motivating_example();
+  EXPECT_EQ(sim::validate(ex.workload), "");
+  ASSERT_EQ(ex.workload.jobs.size(), 3u);
+  EXPECT_EQ(ex.workload.jobs[0].stages[0].tasks.size(), 18u);  // A maps
+  EXPECT_EQ(ex.workload.jobs[1].stages[0].tasks.size(), 6u);   // B maps
+  EXPECT_EQ(ex.workload.jobs[2].stages[0].tasks.size(), 6u);   // C maps
+  for (const auto& job : ex.workload.jobs) {
+    EXPECT_EQ(job.stages[1].tasks.size(), 3u);  // reduces
+  }
+  // Cluster totals: 18 cores, 36 GB, 3 Gbps in.
+  Resources total;
+  for (const auto& cap : ex.config.resolved_capacities()) total += cap;
+  EXPECT_DOUBLE_EQ(total[Resource::kCpu], 18);
+  EXPECT_DOUBLE_EQ(total[Resource::kMem], 36 * kGB);
+  EXPECT_DOUBLE_EQ(total[Resource::kNetIn], 3 * kGbps);
+}
+
+TEST(Motivating, MapPhaseFillsTheClusterExactly) {
+  const auto ex = make_motivating_example();
+  // A's 18 maps use exactly all memory; B's 6 maps exactly all cores.
+  double a_mem = 0, b_cores = 0;
+  for (const auto& t : ex.workload.jobs[0].stages[0].tasks)
+    a_mem += t.peak_mem;
+  for (const auto& t : ex.workload.jobs[1].stages[0].tasks)
+    b_cores += t.peak_cores;
+  EXPECT_DOUBLE_EQ(a_mem, 36 * kGB);
+  EXPECT_DOUBLE_EQ(b_cores, 18);
+}
+
+}  // namespace
+}  // namespace tetris::workload
