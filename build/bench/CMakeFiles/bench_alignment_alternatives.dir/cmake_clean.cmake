@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alignment_alternatives.dir/bench_alignment_alternatives.cc.o"
+  "CMakeFiles/bench_alignment_alternatives.dir/bench_alignment_alternatives.cc.o.d"
+  "bench_alignment_alternatives"
+  "bench_alignment_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alignment_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

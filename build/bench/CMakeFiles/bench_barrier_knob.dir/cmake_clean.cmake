@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_barrier_knob.dir/bench_barrier_knob.cc.o"
+  "CMakeFiles/bench_barrier_knob.dir/bench_barrier_knob.cc.o.d"
+  "bench_barrier_knob"
+  "bench_barrier_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_barrier_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

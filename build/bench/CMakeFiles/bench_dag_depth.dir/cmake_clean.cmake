@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dag_depth.dir/bench_dag_depth.cc.o"
+  "CMakeFiles/bench_dag_depth.dir/bench_dag_depth.cc.o.d"
+  "bench_dag_depth"
+  "bench_dag_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dag_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fairness_knob.dir/bench_fairness_knob.cc.o"
+  "CMakeFiles/bench_fairness_knob.dir/bench_fairness_knob.cc.o.d"
+  "bench_fairness_knob"
+  "bench_fairness_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fairness_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workload_analysis.dir/bench_workload_analysis.cc.o"
+  "CMakeFiles/bench_workload_analysis.dir/bench_workload_analysis.cc.o.d"
+  "bench_workload_analysis"
+  "bench_workload_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workload_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fairness_tradeoff.dir/fairness_tradeoff.cpp.o"
+  "CMakeFiles/fairness_tradeoff.dir/fairness_tradeoff.cpp.o.d"
+  "fairness_tradeoff"
+  "fairness_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fairness_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

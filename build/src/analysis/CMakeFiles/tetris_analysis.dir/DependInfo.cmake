@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/export.cc" "src/analysis/CMakeFiles/tetris_analysis.dir/export.cc.o" "gcc" "src/analysis/CMakeFiles/tetris_analysis.dir/export.cc.o.d"
+  "/root/repo/src/analysis/metrics.cc" "src/analysis/CMakeFiles/tetris_analysis.dir/metrics.cc.o" "gcc" "src/analysis/CMakeFiles/tetris_analysis.dir/metrics.cc.o.d"
+  "/root/repo/src/analysis/workload_analysis.cc" "src/analysis/CMakeFiles/tetris_analysis.dir/workload_analysis.cc.o" "gcc" "src/analysis/CMakeFiles/tetris_analysis.dir/workload_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tetris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tetris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

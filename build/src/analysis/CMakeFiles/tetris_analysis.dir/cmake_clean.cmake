@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_analysis.dir/export.cc.o"
+  "CMakeFiles/tetris_analysis.dir/export.cc.o.d"
+  "CMakeFiles/tetris_analysis.dir/metrics.cc.o"
+  "CMakeFiles/tetris_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/tetris_analysis.dir/workload_analysis.cc.o"
+  "CMakeFiles/tetris_analysis.dir/workload_analysis.cc.o.d"
+  "libtetris_analysis.a"
+  "libtetris_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alignment.cc" "src/core/CMakeFiles/tetris_core.dir/alignment.cc.o" "gcc" "src/core/CMakeFiles/tetris_core.dir/alignment.cc.o.d"
+  "/root/repo/src/core/demand_estimator.cc" "src/core/CMakeFiles/tetris_core.dir/demand_estimator.cc.o" "gcc" "src/core/CMakeFiles/tetris_core.dir/demand_estimator.cc.o.d"
+  "/root/repo/src/core/tetris_scheduler.cc" "src/core/CMakeFiles/tetris_core.dir/tetris_scheduler.cc.o" "gcc" "src/core/CMakeFiles/tetris_core.dir/tetris_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/tetris_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tetris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tetris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_core.dir/alignment.cc.o"
+  "CMakeFiles/tetris_core.dir/alignment.cc.o.d"
+  "CMakeFiles/tetris_core.dir/demand_estimator.cc.o"
+  "CMakeFiles/tetris_core.dir/demand_estimator.cc.o.d"
+  "CMakeFiles/tetris_core.dir/tetris_scheduler.cc.o"
+  "CMakeFiles/tetris_core.dir/tetris_scheduler.cc.o.d"
+  "libtetris_core.a"
+  "libtetris_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/common.cc" "src/sched/CMakeFiles/tetris_sched.dir/common.cc.o" "gcc" "src/sched/CMakeFiles/tetris_sched.dir/common.cc.o.d"
+  "/root/repo/src/sched/drf_scheduler.cc" "src/sched/CMakeFiles/tetris_sched.dir/drf_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tetris_sched.dir/drf_scheduler.cc.o.d"
+  "/root/repo/src/sched/fairness.cc" "src/sched/CMakeFiles/tetris_sched.dir/fairness.cc.o" "gcc" "src/sched/CMakeFiles/tetris_sched.dir/fairness.cc.o.d"
+  "/root/repo/src/sched/random_scheduler.cc" "src/sched/CMakeFiles/tetris_sched.dir/random_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tetris_sched.dir/random_scheduler.cc.o.d"
+  "/root/repo/src/sched/slot_scheduler.cc" "src/sched/CMakeFiles/tetris_sched.dir/slot_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tetris_sched.dir/slot_scheduler.cc.o.d"
+  "/root/repo/src/sched/srtf_scheduler.cc" "src/sched/CMakeFiles/tetris_sched.dir/srtf_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/tetris_sched.dir/srtf_scheduler.cc.o.d"
+  "/root/repo/src/sched/upper_bound.cc" "src/sched/CMakeFiles/tetris_sched.dir/upper_bound.cc.o" "gcc" "src/sched/CMakeFiles/tetris_sched.dir/upper_bound.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tetris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tetris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

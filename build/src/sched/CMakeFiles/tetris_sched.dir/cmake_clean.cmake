@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_sched.dir/common.cc.o"
+  "CMakeFiles/tetris_sched.dir/common.cc.o.d"
+  "CMakeFiles/tetris_sched.dir/drf_scheduler.cc.o"
+  "CMakeFiles/tetris_sched.dir/drf_scheduler.cc.o.d"
+  "CMakeFiles/tetris_sched.dir/fairness.cc.o"
+  "CMakeFiles/tetris_sched.dir/fairness.cc.o.d"
+  "CMakeFiles/tetris_sched.dir/random_scheduler.cc.o"
+  "CMakeFiles/tetris_sched.dir/random_scheduler.cc.o.d"
+  "CMakeFiles/tetris_sched.dir/slot_scheduler.cc.o"
+  "CMakeFiles/tetris_sched.dir/slot_scheduler.cc.o.d"
+  "CMakeFiles/tetris_sched.dir/srtf_scheduler.cc.o"
+  "CMakeFiles/tetris_sched.dir/srtf_scheduler.cc.o.d"
+  "CMakeFiles/tetris_sched.dir/upper_bound.cc.o"
+  "CMakeFiles/tetris_sched.dir/upper_bound.cc.o.d"
+  "libtetris_sched.a"
+  "libtetris_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_sim.dir/machine.cc.o"
+  "CMakeFiles/tetris_sim.dir/machine.cc.o.d"
+  "CMakeFiles/tetris_sim.dir/placement.cc.o"
+  "CMakeFiles/tetris_sim.dir/placement.cc.o.d"
+  "CMakeFiles/tetris_sim.dir/result.cc.o"
+  "CMakeFiles/tetris_sim.dir/result.cc.o.d"
+  "CMakeFiles/tetris_sim.dir/simulator.cc.o"
+  "CMakeFiles/tetris_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/tetris_sim.dir/spec.cc.o"
+  "CMakeFiles/tetris_sim.dir/spec.cc.o.d"
+  "libtetris_sim.a"
+  "libtetris_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_tracker.dir/resource_tracker.cc.o"
+  "CMakeFiles/tetris_tracker.dir/resource_tracker.cc.o.d"
+  "CMakeFiles/tetris_tracker.dir/token_bucket.cc.o"
+  "CMakeFiles/tetris_tracker.dir/token_bucket.cc.o.d"
+  "libtetris_tracker.a"
+  "libtetris_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtetris_tracker.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_util.dir/resources.cc.o"
+  "CMakeFiles/tetris_util.dir/resources.cc.o.d"
+  "CMakeFiles/tetris_util.dir/rng.cc.o"
+  "CMakeFiles/tetris_util.dir/rng.cc.o.d"
+  "CMakeFiles/tetris_util.dir/stats.cc.o"
+  "CMakeFiles/tetris_util.dir/stats.cc.o.d"
+  "CMakeFiles/tetris_util.dir/table.cc.o"
+  "CMakeFiles/tetris_util.dir/table.cc.o.d"
+  "libtetris_util.a"
+  "libtetris_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

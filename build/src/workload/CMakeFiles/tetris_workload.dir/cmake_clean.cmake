@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetris_workload.dir/bing.cc.o"
+  "CMakeFiles/tetris_workload.dir/bing.cc.o.d"
+  "CMakeFiles/tetris_workload.dir/facebook.cc.o"
+  "CMakeFiles/tetris_workload.dir/facebook.cc.o.d"
+  "CMakeFiles/tetris_workload.dir/motivating.cc.o"
+  "CMakeFiles/tetris_workload.dir/motivating.cc.o.d"
+  "CMakeFiles/tetris_workload.dir/suite.cc.o"
+  "CMakeFiles/tetris_workload.dir/suite.cc.o.d"
+  "CMakeFiles/tetris_workload.dir/trace_io.cc.o"
+  "CMakeFiles/tetris_workload.dir/trace_io.cc.o.d"
+  "libtetris_workload.a"
+  "libtetris_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetris_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

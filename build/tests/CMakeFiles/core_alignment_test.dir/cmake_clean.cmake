@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_alignment_test.dir/core/alignment_test.cc.o"
+  "CMakeFiles/core_alignment_test.dir/core/alignment_test.cc.o.d"
+  "core_alignment_test"
+  "core_alignment_test.pdb"
+  "core_alignment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

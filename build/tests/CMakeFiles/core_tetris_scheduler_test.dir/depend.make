@@ -1,0 +1,2 @@
+# Empty dependencies file for core_tetris_scheduler_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_common_test.dir/sched/common_test.cc.o"
+  "CMakeFiles/sched_common_test.dir/sched/common_test.cc.o.d"
+  "sched_common_test"
+  "sched_common_test.pdb"
+  "sched_common_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_fairness_test.dir/sched/fairness_test.cc.o"
+  "CMakeFiles/sched_fairness_test.dir/sched/fairness_test.cc.o.d"
+  "sched_fairness_test"
+  "sched_fairness_test.pdb"
+  "sched_fairness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_fairness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

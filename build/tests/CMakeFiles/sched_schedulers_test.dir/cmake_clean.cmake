@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_schedulers_test.dir/sched/schedulers_test.cc.o"
+  "CMakeFiles/sched_schedulers_test.dir/sched/schedulers_test.cc.o.d"
+  "sched_schedulers_test"
+  "sched_schedulers_test.pdb"
+  "sched_schedulers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_schedulers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

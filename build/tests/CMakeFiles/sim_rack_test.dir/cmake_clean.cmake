@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_rack_test.dir/sim/rack_test.cc.o"
+  "CMakeFiles/sim_rack_test.dir/sim/rack_test.cc.o.d"
+  "sim_rack_test"
+  "sim_rack_test.pdb"
+  "sim_rack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_rack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracker_resource_tracker_test.dir/tracker/resource_tracker_test.cc.o"
+  "CMakeFiles/tracker_resource_tracker_test.dir/tracker/resource_tracker_test.cc.o.d"
+  "tracker_resource_tracker_test"
+  "tracker_resource_tracker_test.pdb"
+  "tracker_resource_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracker_resource_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracker_token_bucket_test.dir/tracker/token_bucket_test.cc.o"
+  "CMakeFiles/tracker_token_bucket_test.dir/tracker/token_bucket_test.cc.o.d"
+  "tracker_token_bucket_test"
+  "tracker_token_bucket_test.pdb"
+  "tracker_token_bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracker_token_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_resources_test.dir/util/resources_test.cc.o"
+  "CMakeFiles/util_resources_test.dir/util/resources_test.cc.o.d"
+  "util_resources_test"
+  "util_resources_test.pdb"
+  "util_resources_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_resources_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

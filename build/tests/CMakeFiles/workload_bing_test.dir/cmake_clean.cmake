@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_bing_test.dir/workload/bing_test.cc.o"
+  "CMakeFiles/workload_bing_test.dir/workload/bing_test.cc.o.d"
+  "workload_bing_test"
+  "workload_bing_test.pdb"
+  "workload_bing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_bing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_resources_test[1]_include.cmake")
+include("/root/repo/build/tests/util_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_table_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_placement_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_machine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/tracker_token_bucket_test[1]_include.cmake")
+include("/root/repo/build/tests/tracker_resource_tracker_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_fairness_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_schedulers_test[1]_include.cmake")
+include("/root/repo/build/tests/core_alignment_test[1]_include.cmake")
+include("/root/repo/build/tests/core_demand_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/core_tetris_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_end_to_end_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_export_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_advanced_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_queue_fairness_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_rack_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_common_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_bing_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_property_test[1]_include.cmake")
