@@ -1,0 +1,86 @@
+// E23 (extension) — machine churn: packing under failures.
+//
+// The paper's deployment treats machine failure and the ensuing
+// re-replication as routine background events (§4.3); the simulator's
+// churn subsystem injects them. Sweep the failure rate (per-machine MTTF,
+// exponential, with a fixed MTTR) across schedulers and check that
+// Tetris's packing advantage persists when the cluster keeps losing and
+// regaining machines: kills cost every scheduler the same lost attempts,
+// but a packer re-fills the survivors' capacity tighter.
+#include <iostream>
+#include <string>
+
+#include "bench/harness.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  auto def = bench::Scale{};
+  def.jobs = 80;
+  def.machines = 20;
+  const auto scale = bench::Scale::from_args(argc, argv, def);
+
+  const sim::Workload w = bench::facebook_workload(scale);
+  const sim::SimConfig base = bench::facebook_cluster(scale);
+  std::cout << "facebook trace: " << w.jobs.size() << " jobs, "
+            << w.total_tasks() << " tasks, " << scale.machines
+            << " machines; churn MTTR fixed at 120 s\n\n";
+
+  Table t({"MTTF (s)", "scheduler", "avg JCT (s)", "makespan (s)",
+           "attempts lost", "work lost (s)", "eff. capacity",
+           "JCT gain vs fair"});
+  std::string csv =
+      "mttf,scheduler,avg_jct,makespan,machines_failed,attempts_lost,"
+      "read_failovers,work_lost_seconds,effective_capacity,"
+      "jct_gain_vs_fair\n";
+
+  // mttf = 0 disables churn: the no-failure baseline row. The sweep stops
+  // at 1000 s: below that, the trace's heavy-tailed multi-thousand-second
+  // tasks outlive nearly every machine up-window and the runs degenerate
+  // into retry livelock (real systems checkpoint; this simulator retries
+  // from scratch).
+  for (double mttf : {0.0, 6000.0, 2000.0, 1000.0}) {
+    sim::SimConfig cfg = base;
+    cfg.churn.mttf = mttf;
+    cfg.churn.mttr = mttf > 0 ? 120.0 : 0.0;
+
+    sched::SlotScheduler fair;
+    sched::DrfScheduler drf;
+    sched::SrtfScheduler srtf;
+    const auto r_fair = bench::run_baseline(cfg, w, fair);
+    const auto r_drf = bench::run_baseline(cfg, w, drf);
+    const auto r_srtf = bench::run_baseline(cfg, w, srtf);
+    const auto r_tetris = bench::run_tetris(cfg, w);
+
+    for (const auto* r : {&r_fair, &r_drf, &r_srtf, &r_tetris}) {
+      bench::warn_if_incomplete(*r);
+      const auto s = analysis::churn_summary(*r);
+      const double gain = analysis::avg_jct_reduction(r_fair, *r);
+      t.add_row({format_double(mttf, 0), r->scheduler_name,
+                 format_double(r->avg_jct(), 1),
+                 format_double(r->makespan, 1),
+                 std::to_string(s.task_attempts_lost),
+                 format_double(s.work_lost_seconds, 1),
+                 format_double(s.effective_capacity, 3),
+                 format_double(gain, 1) + "%"});
+      csv += format_double(mttf, 0) + "," + r->scheduler_name + "," +
+             format_double(r->avg_jct(), 2) + "," +
+             format_double(r->makespan, 2) + "," +
+             std::to_string(s.machines_failed) + "," +
+             std::to_string(s.task_attempts_lost) + "," +
+             std::to_string(s.read_failovers) + "," +
+             format_double(s.work_lost_seconds, 2) + "," +
+             format_double(s.effective_capacity, 4) + "," +
+             format_double(gain, 2) + "\n";
+    }
+  }
+
+  std::cout << "Machine churn sweep — schedulers x failure rate:\n"
+            << t.to_string() << "\n";
+  std::cout << "(expected: all schedulers lose comparable work to kills, "
+               "but Tetris keeps a JCT edge because it re-packs the "
+               "surviving machines tighter; effective capacity falls as "
+               "MTTF shrinks and every run still drains)\n";
+  write_file("bench_results/churn_sweep.csv", csv);
+  return 0;
+}

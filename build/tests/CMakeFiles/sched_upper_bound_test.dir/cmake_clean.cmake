@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_upper_bound_test.dir/sched/upper_bound_test.cc.o"
+  "CMakeFiles/sched_upper_bound_test.dir/sched/upper_bound_test.cc.o.d"
+  "sched_upper_bound_test"
+  "sched_upper_bound_test.pdb"
+  "sched_upper_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_upper_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

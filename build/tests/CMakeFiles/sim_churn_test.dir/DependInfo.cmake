@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/churn_test.cc" "tests/CMakeFiles/sim_churn_test.dir/sim/churn_test.cc.o" "gcc" "tests/CMakeFiles/sim_churn_test.dir/sim/churn_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tetris_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/tetris_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tetris_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tetris_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tetris_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracker/CMakeFiles/tetris_tracker.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tetris_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

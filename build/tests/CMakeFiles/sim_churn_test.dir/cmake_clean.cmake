@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_churn_test.dir/sim/churn_test.cc.o"
+  "CMakeFiles/sim_churn_test.dir/sim/churn_test.cc.o.d"
+  "sim_churn_test"
+  "sim_churn_test.pdb"
+  "sim_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -30,3 +30,5 @@ include("/root/repo/build/tests/sim_rack_test[1]_include.cmake")
 include("/root/repo/build/tests/sched_common_test[1]_include.cmake")
 include("/root/repo/build/tests/workload_bing_test[1]_include.cmake")
 include("/root/repo/build/tests/integration_property_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_churn_test[1]_include.cmake")
+include("/root/repo/build/tests/sched_upper_bound_test[1]_include.cmake")

@@ -58,10 +58,22 @@ std::string timeline_csv(const sim::SimResult& result) {
   return os.str();
 }
 
+std::string churn_csv(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "machines_failed,machines_recovered,task_attempts_lost,"
+        "read_failovers,work_lost_seconds,effective_capacity\n";
+  const auto& c = result.churn;
+  os << c.machines_failed << "," << c.machines_recovered << ","
+     << c.task_attempts_lost << "," << c.read_failovers << ","
+     << c.work_lost_seconds << "," << c.effective_capacity << "\n";
+  return os.str();
+}
+
 bool export_result(const std::string& prefix, const sim::SimResult& result) {
   return write_file(prefix + "_jobs.csv", jobs_csv(result)) &&
          write_file(prefix + "_tasks.csv", tasks_csv(result)) &&
-         write_file(prefix + "_timeline.csv", timeline_csv(result));
+         write_file(prefix + "_timeline.csv", timeline_csv(result)) &&
+         write_file(prefix + "_churn.csv", churn_csv(result));
 }
 
 }  // namespace tetris::analysis

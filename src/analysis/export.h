@@ -20,8 +20,12 @@ std::string tasks_csv(const sim::SimResult& result);
 // utilization.
 std::string timeline_csv(const sim::SimResult& result);
 
-// Writes all three next to each other: <prefix>_jobs.csv, _tasks.csv,
-// _timeline.csv. Returns false if any write failed.
+// Single-row churn accounting: machines failed/recovered, attempts lost,
+// work lost, time-weighted effective capacity.
+std::string churn_csv(const sim::SimResult& result);
+
+// Writes the pieces next to each other: <prefix>_jobs.csv, _tasks.csv,
+// _timeline.csv, _churn.csv. Returns false if any write failed.
 bool export_result(const std::string& prefix, const sim::SimResult& result);
 
 }  // namespace tetris::analysis

@@ -108,4 +108,25 @@ double mean_task_duration(const sim::SimResult& result) {
   return mean(durations);
 }
 
+ChurnSummary churn_summary(const sim::SimResult& result) {
+  ChurnSummary s;
+  s.machines_failed = result.churn.machines_failed;
+  s.machines_recovered = result.churn.machines_recovered;
+  s.task_attempts_lost = result.churn.task_attempts_lost;
+  s.read_failovers = result.churn.read_failovers;
+  s.work_lost_seconds = result.churn.work_lost_seconds;
+  s.effective_capacity = result.churn.effective_capacity;
+  if (!result.tasks.empty()) {
+    s.attempt_overhead =
+        static_cast<double>(result.total_task_attempts()) /
+            static_cast<double>(result.tasks.size()) -
+        1.0;
+    double run_seconds = 0;
+    for (const auto& t : result.tasks) run_seconds += t.duration();
+    if (run_seconds > 0)
+      s.work_lost_fraction = result.churn.work_lost_seconds / run_seconds;
+  }
+  return s;
+}
+
 }  // namespace tetris::analysis

@@ -53,4 +53,21 @@ UnfairnessStats unfairness_stats(const sim::SimResult& result,
 // improve by about 30%" observation of §5.3.1.
 double mean_task_duration(const sim::SimResult& result);
 
+// Per-run churn summary: the raw counters from SimResult::churn plus two
+// normalized overheads, so runs at different scales compare directly.
+struct ChurnSummary {
+  int machines_failed = 0;
+  int machines_recovered = 0;
+  int task_attempts_lost = 0;
+  int read_failovers = 0;
+  double work_lost_seconds = 0;
+  double effective_capacity = 1.0;
+  // Extra attempts per task: (total attempts / tasks) - 1. Counts both
+  // machine-churn kills and task_failure_prob re-executions.
+  double attempt_overhead = 0;
+  // Lost runtime as a fraction of total successful-attempt runtime.
+  double work_lost_fraction = 0;
+};
+ChurnSummary churn_summary(const sim::SimResult& result);
+
 }  // namespace tetris::analysis

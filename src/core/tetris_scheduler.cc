@@ -152,6 +152,7 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     if (any_starved) {
       double best_headroom = -1;
       for (int m = 0; m < ctx.num_machines(); ++m) {
+        if (!ctx.machine_up(m)) continue;  // nothing accumulates on a corpse
         const double headroom = ctx.available(m)
                                     .normalized_by(ctx.capacity(m))
                                     .sum();
@@ -191,6 +192,9 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     c.rejected = true;
     auto& group = groups[g];
     if (group.runnable <= 0) return;
+    // A down machine admits nothing; bail before probing — an invalid
+    // probe below means "group drained", which a churn outage is not.
+    if (!ctx.machine_up(m)) return;
     const Resources avail = ctx.available(m);
     // Cheap exact reject on the placement-independent dimensions.
     if (!sched::fits_cpu_mem(group.est_demand, avail)) return;
@@ -244,6 +248,7 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     for (const auto& i : imminent_demands) {
       scored.clear();
       for (int m = 0; m < total_machines; ++m) {
+        if (!ctx.machine_up(m)) continue;
         const Resources cap = ctx.capacity(m);
         if (!i.demand.fits_within(cap)) continue;
         scored.emplace_back(

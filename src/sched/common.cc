@@ -31,6 +31,7 @@ std::optional<sim::Probe> best_machine_for_group(
     const MachinePrefilter& prefilter) {
   std::optional<sim::Probe> best;
   for (int m = 0; m < ctx.num_machines(); ++m) {
+    if (!ctx.machine_up(m)) continue;  // failed and not yet recovered
     if (prefilter && !prefilter(ctx.available(m))) continue;
     sim::Probe p = ctx.probe(group.ref, m);
     if (!p.valid || !fits(p)) continue;

@@ -56,7 +56,11 @@ sim::SimConfig aggregate_config(const sim::SimConfig& config) {
   out.tracker = sim::TrackerMode::kAllocation;
   out.estimation.mode = sim::EstimationMode::kOracle;
   out.activities.clear();
+  // The oracle is a lower envelope on completion times: every source of
+  // lost work — task-level failures and machine churn alike — is disabled,
+  // or the "upper bound" could fall below an achievable schedule's truth.
   out.task_failure_prob = 0;
+  out.churn = sim::ChurnConfig{};
   return out;
 }
 

@@ -13,6 +13,10 @@
 
 namespace tetris::sim {
 
+// The num_machines a default-constructed SimConfig carries; treated as
+// "unspecified" when machine_capacities pins the cluster shape instead.
+inline constexpr int kDefaultNumMachines = 50;
+
 // How the resource tracker reports availability to the scheduler (§4.1).
 enum class TrackerMode {
   // Bookkeeping view: capacity minus the demands the scheduler allocated.
@@ -55,9 +59,38 @@ struct BackgroundActivity {
   Resources usage;
 };
 
+// One scripted machine outage: the machine fails at `down_at` (running
+// tasks are killed and requeued, its DFS replicas become unreachable, its
+// background activities suspend) and recovers with its data at `up_at`.
+struct MachineEvent {
+  MachineId machine = 0;
+  SimTime down_at = 0;
+  SimTime up_at = 0;
+};
+
+// Machine-churn fault injection (the cluster analogue of
+// `task_failure_prob`; paper §4.3 treats machine failure and the ensuing
+// re-replication as routine background events). Random churn draws
+// per-machine exponential failure/repair times from a dedicated RNG
+// stream, so enabling it does not perturb task-failure or workload draws;
+// scripted events make outages deterministic for tests. Both may be
+// combined; overlapping down windows on one machine nest (the machine is
+// up only when every window has closed).
+struct ChurnConfig {
+  // Mean time to failure per machine, seconds. 0 disables random churn.
+  double mttf = 0;
+  // Mean time to repair, seconds. Must be > 0 when mttf > 0.
+  double mttr = 0;
+  std::vector<MachineEvent> scripted;
+
+  bool enabled() const { return mttf > 0 || !scripted.empty(); }
+};
+
 struct SimConfig {
   // Homogeneous cluster unless `machine_capacities` is set explicitly.
-  int num_machines = 50;
+  // When `machine_capacities` is set, leave this at its default or set it
+  // to the matching count — simulate() rejects a contradiction.
+  int num_machines = kDefaultNumMachines;
   Resources machine_capacity = Resources::full(
       16, 32 * kGB, 4 * 50 * kMB, 4 * 50 * kMB, 1 * kGbps, 1 * kGbps);
   std::vector<Resources> machine_capacities;  // overrides the two above
@@ -85,6 +118,9 @@ struct SimConfig {
 
   // Probability that a task attempt fails partway and re-executes.
   double task_failure_prob = 0.0;
+
+  // Machine-level failure injection; see ChurnConfig.
+  ChurnConfig churn;
 
   std::uint64_t seed = 1;
 

@@ -42,6 +42,12 @@ void Machine::remove_demand(int task_uid) {
   recompute();
 }
 
+void Machine::set_capacity(const Resources& capacity) {
+  capacity_ = capacity;
+  external_usage_ = external_usage_.clamped_to(capacity_);
+  recompute();
+}
+
 void Machine::set_external_usage(const Resources& usage) {
   external_usage_ = usage.clamped_to(capacity_);
   recompute();
@@ -99,6 +105,7 @@ Resources Machine::usage() const {
 }
 
 Resources Machine::available_by_allocation() const {
+  if (!up_) return Resources{};
   return (capacity_ - total_task_demand_ - external_usage_).max_zero();
 }
 

@@ -24,6 +24,17 @@ class Machine {
   MachineId id() const { return id_; }
   const Resources& capacity() const { return capacity_; }
 
+  // Replaces the capacity vector and re-shares demand against it. Used for
+  // rack uplinks, whose bandwidth is the aggregate of their *up* members'
+  // NICs and therefore shrinks when a member machine fails.
+  void set_capacity(const Resources& capacity);
+
+  // Churn state. The simulator kills every demand touching a machine
+  // before taking it down, so a down machine holds no task demands; the
+  // flag gates the availability views (a down machine offers nothing).
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+
   // Registers / removes one task's demand rates on this machine (a task's
   // local demands on its host, or its remote leg on an input source).
   void add_demand(int task_uid, const Resources& demand);
@@ -81,6 +92,7 @@ class Machine {
   Resources external_usage_;
   std::array<double, kNumResources> ratios_;
   bool thrashing_ = false;
+  bool up_ = true;
 };
 
 }  // namespace tetris::sim

@@ -17,13 +17,24 @@ unsigned long long mix(unsigned long long x) {
 
 }  // namespace
 
+namespace {
+
+bool is_up(const std::vector<char>* machine_up, MachineId m) {
+  return machine_up == nullptr ||
+         m >= static_cast<MachineId>(machine_up->size()) ||
+         (*machine_up)[static_cast<std::size_t>(m)];
+}
+
+}  // namespace
+
 std::vector<ResolvedSplit> resolve_splits(
     const std::vector<InputSplit>& splits, MachineId host,
-    unsigned long long salt) {
+    unsigned long long salt, const std::vector<char>* machine_up) {
   std::vector<ResolvedSplit> out;
   out.reserve(splits.size());
   unsigned long long h = mix(salt ^ (static_cast<unsigned long long>(host) +
                                      0x517cc1b727220a95ull));
+  std::vector<MachineId> live;
   for (const auto& split : splits) {
     if (split.from_stage >= 0) {
       throw std::logic_error(
@@ -35,15 +46,41 @@ std::vector<ResolvedSplit> resolve_splits(
     if (split.replicas.empty()) {
       r.source = kGeneratedSource;
     } else if (std::find(split.replicas.begin(), split.replicas.end(),
-                         host) != split.replicas.end()) {
+                         host) != split.replicas.end() &&
+               is_up(machine_up, host)) {
       r.source = host;
     } else {
+      live.clear();
+      for (MachineId m : split.replicas) {
+        if (is_up(machine_up, m)) live.push_back(m);
+      }
+      if (live.empty()) {
+        throw std::logic_error(
+            "resolve_splits: every replica of a split is down; callers "
+            "must gate on inputs_available()");
+      }
       h = mix(h);
-      r.source = split.replicas[h % split.replicas.size()];
+      r.source = live[h % live.size()];
     }
     out.push_back(r);
   }
   return out;
+}
+
+bool inputs_available(const TaskSpec& task,
+                      const std::vector<char>& machine_up) {
+  for (const auto& split : task.inputs) {
+    if (split.replicas.empty() || split.bytes <= 0) continue;
+    bool any_up = false;
+    for (MachineId m : split.replicas) {
+      if (is_up(&machine_up, m)) {
+        any_up = true;
+        break;
+      }
+    }
+    if (!any_up) return false;
+  }
+  return true;
 }
 
 PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
@@ -100,9 +137,10 @@ PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
 }
 
 PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
-                                  unsigned long long salt) {
-  return compute_placement(task, host,
-                           resolve_splits(task.inputs, host, salt));
+                                  unsigned long long salt,
+                                  const std::vector<char>* machine_up) {
+  return compute_placement(
+      task, host, resolve_splits(task.inputs, host, salt, machine_up));
 }
 
 PlacementDemand compute_local_placement(const TaskSpec& task) {

@@ -67,9 +67,14 @@ inline constexpr double kMinTaskDuration = 0.25;
 // Chooses a concrete source per split for a task placed on `host`: local if
 // the host holds a replica, else a deterministic pseudo-random replica
 // (hash-based, so probe and commit agree without shared state).
+//
+// `machine_up`, when non-null, is the churn mask indexed by MachineId:
+// replicas on down machines are skipped, charging the read against the
+// surviving replica set. Callers must first check inputs_available() —
+// resolving a split whose replicas are all down is a logic error.
 std::vector<ResolvedSplit> resolve_splits(
     const std::vector<InputSplit>& splits, MachineId host,
-    unsigned long long salt);
+    unsigned long long salt, const std::vector<char>* machine_up = nullptr);
 
 // Computes the demand rates and natural duration of `task` on `host` with
 // the given resolved inputs.
@@ -78,7 +83,15 @@ PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
 
 // Convenience: resolve + compute in one call.
 PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
-                                  unsigned long long salt);
+                                  unsigned long long salt,
+                                  const std::vector<char>* machine_up = nullptr);
+
+// True iff every replicated split still has a replica on an up machine.
+// Tasks whose data is entirely offline cannot run anywhere and must wait
+// for a recovery (the simulator keeps them runnable but never places
+// them). Generated and not-yet-materialized shuffle splits are always
+// available.
+bool inputs_available(const TaskSpec& task, const std::vector<char>& machine_up);
 
 // Fraction of input bytes that would be read locally if the task ran on
 // `host`. Schedulers use this to pick the best-locality candidate within a

@@ -25,4 +25,10 @@ double SimResult::median_jct() const {
   return percentile(xs, 50);
 }
 
+long SimResult::total_task_attempts() const {
+  long out = 0;
+  for (const auto& t : tasks) out += t.attempts;
+  return out;
+}
+
 }  // namespace tetris::sim

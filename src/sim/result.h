@@ -49,6 +49,25 @@ struct TimelineSample {
   std::array<double, kNumResources> utilization{};
 };
 
+// Machine-churn accounting (SimConfig::churn). All zero / 1.0 when churn
+// is disabled.
+struct ChurnStats {
+  int machines_failed = 0;     // down transitions applied to up machines
+  int machines_recovered = 0;  // up transitions that restored a machine
+  // Running attempts killed because their host failed, or because a
+  // machine they were reading from failed with no surviving replica of
+  // some input; each re-queues as a fresh attempt.
+  int task_attempts_lost = 0;
+  // Wall-clock runtime thrown away with those attempts.
+  double work_lost_seconds = 0;
+  // Running attempts whose read stream was re-pointed at a surviving
+  // replica when its source failed (the attempt kept its progress).
+  int read_failovers = 0;
+  // Time-weighted fraction of cluster capacity that was up over
+  // [0, end_time], averaged across resources. 1.0 = no downtime.
+  double effective_capacity = 1.0;
+};
+
 struct SchedulerCost {
   long invocations = 0;
   long placements = 0;
@@ -74,10 +93,14 @@ struct SimResult {
   std::array<std::vector<double>, kNumResources> machine_usage_samples;
 
   SchedulerCost scheduler_cost;
+  ChurnStats churn;
 
   double avg_jct() const;
   double median_jct() const;
   std::vector<double> jcts() const;
+  // Sum of attempts over task records; exceeds the task count exactly by
+  // the number of failure-injected re-executions (task- or machine-level).
+  long total_task_attempts() const;
 };
 
 }  // namespace tetris::sim

@@ -126,6 +126,13 @@ class SchedulerContext {
   virtual Resources available(MachineId m) const = 0;
   virtual int running_tasks_on(MachineId m) const = 0;
 
+  // Churn admission filter: false while machine `m` is down (failed and
+  // not yet recovered). Down machines report zero availability and refuse
+  // probes and placements regardless, so no scheduler can admit to one;
+  // checking the flag first merely skips the wasted work. Ids past the
+  // real machines (rack uplinks) are always up.
+  virtual bool machine_up(MachineId /*m*/) const { return true; }
+
   // Groups with at least one runnable task, and all arrived-but-unfinished
   // jobs. Snapshots: re-fetch after placements to see updated counts.
   virtual std::vector<GroupView> runnable_groups() const = 0;

@@ -30,11 +30,20 @@ constexpr std::size_t kMaxShuffleSources = 8;
 constexpr std::size_t kMaxLocalityScan = 24;
 
 struct Event {
-  enum class Type { kArrival, kFinish, kHeartbeat, kTimeline, kActivity };
+  enum class Type {
+    kArrival,
+    kFinish,
+    kHeartbeat,
+    kTimeline,
+    kActivity,
+    kMachineDown,
+    kMachineUp,
+  };
   SimTime time = 0;
   long seq = 0;  // FIFO tie-break for equal times
   Type type = Type::kHeartbeat;
-  int a = 0;   // arrival: job id; finish: task uid; activity: index
+  int a = 0;   // arrival: job id; finish: task uid; activity: index;
+               // machine down/up: machine id
   long b = 0;  // finish: generation; activity: 1=start, 0=stop
 };
 
@@ -87,6 +96,27 @@ class Simulator {
   void on_heartbeat(Scheduler& scheduler);
   void on_timeline();
   void on_activity(int index, bool start);
+  void on_machine_down(MachineId m);
+  void on_machine_up(MachineId m);
+  void failover_reads(int uid);
+
+  // ---- churn helpers ----
+  bool machine_is_up(MachineId m) const {
+    return machines_[static_cast<std::size_t>(m)].up();
+  }
+  // Replica mask for placement resolution; null while everything is up so
+  // the no-churn hot path keeps the original (cheaper) replica pick.
+  const std::vector<char>* up_mask() const {
+    return down_count_ > 0 ? &machine_up_ : nullptr;
+  }
+  void update_rack_uplink(MachineId member);
+  // Folds the elapsed interval into the effective-capacity integral; call
+  // before every change to the set of up machines.
+  void account_up_capacity() {
+    up_capacity_integral_ += (now_ - last_up_change_) * up_fraction_;
+    last_up_change_ = now_;
+  }
+  double compute_up_fraction() const;
 
   // ---- task lifecycle ----
   TaskState& task_at(int uid) {
@@ -148,6 +178,19 @@ class Simulator {
   std::vector<char> dirty_flags_;
   std::vector<MachineId> dirty_list_;
 
+  // ---- churn state (real machines only; uplinks never fail) ----
+  std::vector<char> machine_up_;
+  std::vector<int> down_depth_;  // overlapping down windows nest
+  int down_count_ = 0;
+  std::vector<MachineEvent> churn_events_;  // scripted + generated
+  // Per-machine sum of currently-active background activities; applied to
+  // the machine only while it is up (activities suspend with it).
+  std::vector<Resources> external_active_;
+  Resources up_capacity_;  // capacity sum over up machines
+  double up_fraction_ = 1.0;
+  double up_capacity_integral_ = 0;
+  SimTime last_up_change_ = 0;
+
   Rng rng_;
   int running_total_ = 0;
   int completed_jobs_ = 0;
@@ -181,6 +224,10 @@ class Simulator::ContextImpl final : public SchedulerContext {
   }
   int running_tasks_on(MachineId m) const override {
     return sim_.hosted_count_[static_cast<std::size_t>(m)];
+  }
+  bool machine_up(MachineId m) const override {
+    return m >= 0 && m < static_cast<int>(sim_.machines_.size()) &&
+           sim_.machine_is_up(m);
   }
 
   std::vector<GroupView> runnable_groups() const override;
@@ -346,6 +393,10 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   Probe p;
   p.group = group;
   p.machine = machine;
+  // Down machines admit nothing; uplink ids are not placement targets.
+  if (machine < 0 || machine >= sim_.num_real_machines_ ||
+      !sim_.machine_is_up(machine))
+    return p;
   if (group.job < 0 || group.job >= static_cast<int>(sim_.jobs_.size()))
     return p;
   const JobState& job = sim_.jobs_[static_cast<std::size_t>(group.job)];
@@ -361,6 +412,10 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   for (std::size_t i = 0; i < scan; ++i) {
     const int idx = stage.runnable_indices[i];
     const TaskState& t = stage.tasks[static_cast<std::size_t>(idx)];
+    // Tasks whose every replica of some input is down cannot run anywhere
+    // until a recovery; they stay runnable but are not candidates.
+    if (sim_.down_count_ > 0 && !inputs_available(t.spec, sim_.machine_up_))
+      continue;
     const double frac = local_fraction(t.spec, machine);
     if (frac > best_frac) {
       best_frac = frac;
@@ -371,8 +426,10 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   if (best < 0) return p;
 
   const TaskState& task = stage.tasks[static_cast<std::size_t>(best)];
-  PlacementDemand pd = compute_placement(
-      task.spec, machine, static_cast<unsigned long long>(task.uid));
+  PlacementDemand pd =
+      compute_placement(task.spec, machine,
+                        static_cast<unsigned long long>(task.uid),
+                        sim_.up_mask());
   sim_.add_rack_legs(machine, pd);
   const EstFactors f = sim_.est_factors(job, group.stage);
 
@@ -409,8 +466,8 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
 
 bool Simulator::ContextImpl::place(const Probe& probe) {
   if (!probe.valid) return false;
-  if (probe.machine < 0 ||
-      probe.machine >= static_cast<int>(sim_.machines_.size()))
+  if (probe.machine < 0 || probe.machine >= sim_.num_real_machines_ ||
+      !sim_.machine_is_up(probe.machine))
     return false;
   JobState& job = sim_.jobs_[static_cast<std::size_t>(probe.group.job)];
   StageState& stage = job.stages[static_cast<std::size_t>(probe.group.stage)];
@@ -481,11 +538,29 @@ bool Simulator::ContextImpl::preempt(int task_uid) {
 
 Simulator::Simulator(const SimConfig& config, const Workload& workload)
     : config_(config), interference_(config.interference), rng_(config.seed) {
+  // An explicit machine_capacities that contradicts an explicit
+  // num_machines is a config bug: resolved_capacities() silently prefers
+  // the vector, so the caller would simulate a different cluster than the
+  // one they asked for. The default num_machines counts as "unspecified".
+  if (!config_.machine_capacities.empty() &&
+      config_.num_machines != kDefaultNumMachines &&
+      config_.num_machines !=
+          static_cast<int>(config_.machine_capacities.size())) {
+    throw std::invalid_argument(
+        "SimConfig: num_machines=" + std::to_string(config_.num_machines) +
+        " contradicts machine_capacities.size()=" +
+        std::to_string(config_.machine_capacities.size()));
+  }
   const auto caps = config_.resolved_capacities();
   if (caps.empty()) throw std::invalid_argument("no machines configured");
   if (config_.machines_per_rack < 0 ||
       (config_.machines_per_rack > 0 && config_.rack_oversubscription <= 0)) {
     throw std::invalid_argument("bad rack topology configuration");
+  }
+  if (config_.churn.mttf < 0 || config_.churn.mttr < 0 ||
+      (config_.churn.mttf > 0 && config_.churn.mttr <= 0)) {
+    throw std::invalid_argument(
+        "ChurnConfig: mttf/mttr must be >= 0 and mttr > 0 when mttf > 0");
   }
   num_real_machines_ = static_cast<int>(caps.size());
   machines_.reserve(caps.size());
@@ -521,6 +596,37 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload)
   alloc_est_.assign(machines_.size(), Resources{});
   hosted_count_.assign(machines_.size(), 0);
   dirty_flags_.assign(machines_.size(), 0);
+
+  machine_up_.assign(static_cast<std::size_t>(num_real_machines_), 1);
+  down_depth_.assign(static_cast<std::size_t>(num_real_machines_), 0);
+  external_active_.assign(static_cast<std::size_t>(num_real_machines_),
+                          Resources{});
+  up_capacity_ = cluster_capacity_;
+
+  churn_events_ = config_.churn.scripted;
+  for (const auto& ev : churn_events_) {
+    if (ev.machine < 0 || ev.machine >= num_real_machines_ ||
+        ev.down_at < 0 || ev.up_at <= ev.down_at) {
+      throw std::invalid_argument(
+          "ChurnConfig: scripted event needs a valid machine and "
+          "down_at < up_at");
+    }
+  }
+  if (config_.churn.mttf > 0) {
+    // Dedicated stream, one sub-stream per machine: enabling churn or
+    // resizing the cluster must not perturb task-failure or estimation
+    // draws, and one machine's timeline must not perturb another's.
+    Rng churn_rng = rng_.fork();
+    for (MachineId m = 0; m < num_real_machines_; ++m) {
+      Rng mrng = churn_rng.fork();
+      SimTime t = mrng.exponential(config_.churn.mttf);
+      while (t < config_.max_time) {
+        const SimTime back = t + mrng.exponential(config_.churn.mttr);
+        churn_events_.push_back({m, t, back});
+        t = back + mrng.exponential(config_.churn.mttf);
+      }
+    }
+  }
 
   if (auto msg = validate(workload); !msg.empty())
     throw std::invalid_argument("invalid workload: " + msg);
@@ -656,6 +762,7 @@ EstFactors Simulator::est_factors(const JobState& job,
 
 Resources Simulator::tracker_available(MachineId m) const {
   const auto& machine = machines_[static_cast<std::size_t>(m)];
+  if (!machine.up()) return Resources{};  // a down machine offers nothing
   if (config_.tracker == TrackerMode::kAllocation) {
     return (machine.capacity() - alloc_est_[static_cast<std::size_t>(m)])
         .max_zero();
@@ -679,8 +786,13 @@ SimResult Simulator::run(Scheduler& scheduler) {
   result_ = SimResult{};
   result_.scheduler_name = scheduler.name();
 
-  // Activities first: an activity starting at time t must be visible to a
-  // scheduling pass at the same instant (FIFO tie-break is by push order).
+  // Machine events and activities first: a failure or activity at time t
+  // must be visible to a scheduling pass at the same instant (FIFO
+  // tie-break is by push order).
+  for (const auto& ev : churn_events_) {
+    push({ev.down_at, 0, Event::Type::kMachineDown, ev.machine, 0});
+    push({ev.up_at, 0, Event::Type::kMachineUp, ev.machine, 0});
+  }
   for (std::size_t i = 0; i < config_.activities.size(); ++i) {
     const auto& act = config_.activities[i];
     push({act.start, 0, Event::Type::kActivity, static_cast<int>(i), 1});
@@ -726,11 +838,25 @@ SimResult Simulator::run(Scheduler& scheduler) {
       case Event::Type::kActivity:
         on_activity(e.a, e.b != 0);
         break;
+      case Event::Type::kMachineDown:
+        on_machine_down(e.a);
+        // React immediately: killed tasks may fit on surviving machines.
+        run_pass(scheduler);
+        break;
+      case Event::Type::kMachineUp:
+        on_machine_up(e.a);
+        // React immediately: restored capacity (and restored replicas) can
+        // unblock waiting tasks before the next heartbeat.
+        run_pass(scheduler);
+        break;
     }
   }
 
   result_.completed = completed_jobs_ == static_cast<int>(jobs_.size());
   result_.end_time = now_;
+  account_up_capacity();
+  result_.churn.effective_capacity =
+      now_ > 0 ? up_capacity_integral_ / now_ : 1.0;
   SimTime first_arrival = jobs_.empty() ? 0 : jobs_.front().arrival;
   SimTime last_finish = 0;
   for (const auto& job : jobs_) {
@@ -842,8 +968,9 @@ void Simulator::start_task(const Probe& probe) {
   StageState& stage = job.stages[static_cast<std::size_t>(probe.group.stage)];
   TaskState& task = stage.tasks[static_cast<std::size_t>(probe.task_index)];
 
-  PlacementDemand pd = compute_placement(
-      task.spec, probe.machine, static_cast<unsigned long long>(task.uid));
+  PlacementDemand pd =
+      compute_placement(task.spec, probe.machine,
+                        static_cast<unsigned long long>(task.uid), up_mask());
   add_rack_legs(probe.machine, pd);
 
   task.status = TaskStatus::kRunning;
@@ -1120,9 +1247,148 @@ void Simulator::on_timeline() {
 
 void Simulator::on_activity(int index, bool start) {
   const auto& act = config_.activities[static_cast<std::size_t>(index)];
-  auto& machine = machines_[static_cast<std::size_t>(act.machine)];
-  machine.set_external_usage(start ? act.usage : Resources{});
+  // Overlapping activities on one machine stack; the machine carries their
+  // sum while it is up. A down machine's activities are suspended — the
+  // accumulator keeps tracking so recovery resumes whatever is still in
+  // its window.
+  auto& ext = external_active_[static_cast<std::size_t>(act.machine)];
+  ext = start ? ext + act.usage : (ext - act.usage).max_zero();
+  if (!machine_up_[static_cast<std::size_t>(act.machine)]) return;
+  machines_[static_cast<std::size_t>(act.machine)].set_external_usage(ext);
   mark_dirty(act.machine);
+  refresh_dirty();
+}
+
+double Simulator::compute_up_fraction() const {
+  double sum = 0;
+  int dims = 0;
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    if (cluster_capacity_.at(i) <= 0) continue;
+    sum += up_capacity_.at(i) / cluster_capacity_.at(i);
+    dims++;
+  }
+  return dims > 0 ? sum / dims : 1.0;
+}
+
+void Simulator::update_rack_uplink(MachineId member) {
+  const int k = config_.machines_per_rack;
+  if (k <= 0) return;
+  const int rack = member / k;
+  // The uplink is the aggregate NIC bandwidth of the rack's *up* members,
+  // divided by the oversubscription factor; a failed member takes its
+  // share of the uplink with it and running cross-rack flows re-share.
+  Resources uplink;
+  for (int m = rack * k; m < std::min((rack + 1) * k, num_real_machines_);
+       ++m) {
+    if (!machine_up_[static_cast<std::size_t>(m)]) continue;
+    const Resources& cap = machines_[static_cast<std::size_t>(m)].capacity();
+    uplink[Resource::kNetIn] += cap[Resource::kNetIn];
+    uplink[Resource::kNetOut] += cap[Resource::kNetOut];
+  }
+  uplink /= config_.rack_oversubscription;
+  const auto u = static_cast<std::size_t>(num_real_machines_ + rack);
+  machines_[u].set_capacity(uplink);
+  mark_dirty(static_cast<MachineId>(u));
+}
+
+void Simulator::on_machine_down(MachineId m) {
+  if (down_depth_[static_cast<std::size_t>(m)]++ > 0) return;  // nested
+  down_count_++;
+  result_.churn.machines_failed++;
+  account_up_capacity();
+  up_capacity_ =
+      (up_capacity_ - machines_[static_cast<std::size_t>(m)].capacity())
+          .max_zero();
+  up_fraction_ = compute_up_fraction();
+
+  machine_up_[static_cast<std::size_t>(m)] = 0;
+  machines_[static_cast<std::size_t>(m)].set_up(false);
+  machines_[static_cast<std::size_t>(m)].set_external_usage(Resources{});
+
+  // Every running attempt touching the machine is affected (sorted for a
+  // deterministic order — the demands map iteration order is not part of
+  // the simulation contract). Tasks hosted on it lose their attempt and
+  // re-queue. Tasks merely streaming input from it fail the read over to
+  // a surviving replica (HDFS-style) and keep their progress; only when
+  // no replica of some input survives is the reader killed too.
+  std::vector<int> victims;
+  victims.reserve(machines_[static_cast<std::size_t>(m)].demands().size());
+  for (const auto& [uid, demand] :
+       machines_[static_cast<std::size_t>(m)].demands()) {
+    victims.push_back(uid);
+  }
+  std::sort(victims.begin(), victims.end());
+  for (int uid : victims) {
+    TaskState& t = task_at(uid);
+    if (t.status != TaskStatus::kRunning) continue;
+    if (t.host != m && inputs_available(t.spec, machine_up_)) {
+      failover_reads(uid);
+      continue;
+    }
+    result_.churn.task_attempts_lost++;
+    result_.churn.work_lost_seconds += now_ - t.start_time;
+    complete_task(uid, /*failed=*/true);
+  }
+
+  update_rack_uplink(m);
+  mark_dirty(m);
+  refresh_dirty();
+}
+
+void Simulator::failover_reads(int uid) {
+  const TaskLoc& loc = locs_[static_cast<std::size_t>(uid)];
+  JobState& job = jobs_[static_cast<std::size_t>(loc.job)];
+  TaskState& t = job.stages[static_cast<std::size_t>(loc.stage)]
+                     .tasks[static_cast<std::size_t>(loc.index)];
+  // Bank progress earned under the old placement, then swap every demand
+  // the attempt holds for ones resolved against the surviving replica
+  // set. The scheduler's estimate books are left alone: completion
+  // subtracts the same estimates that were added at start.
+  update_progress(t);
+  machines_[static_cast<std::size_t>(t.host)].remove_demand(uid);
+  mark_dirty(t.host);
+  for (const auto& leg : t.placement.remote) {
+    machines_[static_cast<std::size_t>(leg.machine)].remove_demand(uid);
+    mark_dirty(leg.machine);
+  }
+  job.current_alloc = (job.current_alloc - t.placement.local).max_zero();
+
+  PlacementDemand pd = compute_placement(
+      t.spec, t.host, static_cast<unsigned long long>(t.uid), &machine_up_);
+  add_rack_legs(t.host, pd);
+  t.placement = pd;
+  job.current_alloc += pd.local;
+  machines_[static_cast<std::size_t>(t.host)].add_demand(uid, pd.local);
+  for (const auto& leg : pd.remote) {
+    machines_[static_cast<std::size_t>(leg.machine)].add_demand(
+        uid, leg_resources(leg));
+    mark_dirty(leg.machine);
+  }
+  // Both the natural duration and the share ratios may have changed;
+  // the sentinel defeats refresh_dirty's same-speed shortcut so a fresh
+  // finish prediction is always issued.
+  t.speed = -1;
+  result_.churn.read_failovers++;
+}
+
+void Simulator::on_machine_up(MachineId m) {
+  auto& depth = down_depth_[static_cast<std::size_t>(m)];
+  if (depth <= 0) return;  // unmatched up event (defensive)
+  if (--depth > 0) return;  // another down window still holds it
+  down_count_--;
+  result_.churn.machines_recovered++;
+  account_up_capacity();
+  up_capacity_ += machines_[static_cast<std::size_t>(m)].capacity();
+  up_fraction_ = compute_up_fraction();
+
+  machine_up_[static_cast<std::size_t>(m)] = 1;
+  machines_[static_cast<std::size_t>(m)].set_up(true);
+  // Resume whatever background activity windows are still open.
+  machines_[static_cast<std::size_t>(m)].set_external_usage(
+      external_active_[static_cast<std::size_t>(m)]);
+
+  update_rack_uplink(m);
+  mark_dirty(m);
   refresh_dirty();
 }
 

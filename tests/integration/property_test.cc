@@ -162,6 +162,79 @@ TEST_P(SchedulerPropertyTest, UniversalInvariantsHold) {
   EXPECT_LE(r.makespan, serial + 1e3);
 }
 
+// Same matrix under machine churn: three scripted outages land inside the
+// busy period. The universal invariants must survive, plus the churn-
+// specific ones — no successful attempt overlaps an outage window on the
+// failed machine, and the attempt counters reconcile with the kills.
+class ChurnPropertyTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ChurnPropertyTest, ChurnInvariantsHold) {
+  const Case c = GetParam();
+  const sim::Workload w = make_load(c.load, c.seed);
+  sim::SimConfig cfg;
+  cfg.num_machines = 10;
+  cfg.machine_capacity = workload::facebook_machine();
+  if (c.sched == Sched::kTetris) cfg.tracker = sim::TrackerMode::kUsage;
+  cfg.churn.scripted = {{2, 20.0, 80.0}, {7, 50.0, 140.0}, {2, 200.0, 260.0}};
+  auto scheduler = make_scheduler(c.sched);
+  const sim::SimResult r = sim::simulate(cfg, w, *scheduler);
+
+  // 1. The workload still drains, every task finishes exactly once.
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(r.tasks.size(), w.total_tasks());
+  std::set<std::tuple<int, int, int>> seen;
+  for (const auto& t : r.tasks) {
+    EXPECT_TRUE(seen.insert({t.job, t.stage, t.index}).second);
+  }
+
+  // 2. No successful attempt runs on a machine while it is down: the
+  // recorded [start, finish) never overlaps an outage window on its host
+  // (an attempt caught inside one would have been killed and requeued).
+  for (const auto& t : r.tasks) {
+    EXPECT_GE(t.host, 0);
+    EXPECT_LT(t.host, 10);
+    for (const auto& ev : cfg.churn.scripted) {
+      if (t.host != ev.machine) continue;
+      const bool overlaps =
+          t.start < ev.up_at - 1e-9 && t.finish > ev.down_at + 1e-9;
+      EXPECT_FALSE(overlaps)
+          << "job " << t.job << " stage " << t.stage << " index " << t.index
+          << " ran on machine " << ev.machine << " during ["
+          << ev.down_at << ", " << ev.up_at << ")";
+    }
+  }
+
+  // 3. Physics still holds: no attempt beats its natural duration.
+  for (const auto& t : r.tasks) {
+    EXPECT_GE(t.duration(), t.natural_duration - 1e-6);
+    EXPECT_GE(t.attempts, 1);
+  }
+
+  // 4. Counter reconciliation: every kill is one lost attempt on exactly
+  // one task, and every fired outage recovered (windows end well before
+  // the workload drains or the counters diverge benignly — allow <=).
+  long extra_attempts = 0;
+  for (const auto& t : r.tasks) extra_attempts += t.attempts - 1;
+  EXPECT_EQ(extra_attempts, r.churn.task_attempts_lost);
+  EXPECT_LE(r.churn.machines_failed,
+            static_cast<int>(cfg.churn.scripted.size()));
+  EXPECT_LE(r.churn.machines_recovered, r.churn.machines_failed);
+  EXPECT_GT(r.churn.machines_failed, 0);
+  EXPECT_GE(r.churn.work_lost_seconds, 0.0);
+  EXPECT_GT(r.churn.effective_capacity, 0.0);
+  EXPECT_LE(r.churn.effective_capacity, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChurnMatrix, ChurnPropertyTest,
+    ::testing::Values(Case{Sched::kTetris, Load::kSuite, 1},
+                      Case{Sched::kTetris, Load::kFacebook, 1},
+                      Case{Sched::kSlot, Load::kFacebook, 1},
+                      Case{Sched::kDrf, Load::kSuite, 1},
+                      Case{Sched::kSrtf, Load::kFacebook, 1},
+                      Case{Sched::kRandom, Load::kSuite, 1}),
+    case_name);
+
 INSTANTIATE_TEST_SUITE_P(
     Matrix, SchedulerPropertyTest,
     ::testing::Values(

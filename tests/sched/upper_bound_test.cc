@@ -1,0 +1,76 @@
+// The §2.2.3 aggregate oracle must be a lower envelope: every source of
+// lost work — task-level failures and machine churn alike — is stripped
+// from the relaxed configuration, while the knobs that shape the relaxed
+// schedule itself survive.
+#include "sched/upper_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace tetris::sched {
+namespace {
+
+TEST(UpperBound, AggregateConfigDisablesChurnAndTaskFailures) {
+  sim::SimConfig cfg;
+  cfg.num_machines = 4;
+  cfg.machine_capacity =
+      Resources::full(4, 8 * kGB, 100 * kMB, 100 * kMB, 125 * kMB, 125 * kMB);
+  cfg.seed = 42;
+  cfg.heartbeat_period = 0.25;
+  cfg.task_failure_prob = 0.1;
+  cfg.churn.mttf = 500;
+  cfg.churn.mttr = 60;
+  cfg.churn.scripted = {{2, 10.0, 20.0}};
+
+  const sim::SimConfig agg = aggregate_config(cfg);
+
+  EXPECT_EQ(agg.task_failure_prob, 0.0);
+  EXPECT_EQ(agg.churn.mttf, 0.0);
+  EXPECT_EQ(agg.churn.mttr, 0.0);
+  EXPECT_TRUE(agg.churn.scripted.empty());
+  EXPECT_FALSE(agg.churn.enabled());
+
+  // The relaxation itself: one bin with the whole cluster's capacity,
+  // oracle estimates, allocation bookkeeping; determinism knobs survive.
+  EXPECT_EQ(agg.num_machines, 1);
+  ASSERT_EQ(agg.machine_capacities.size(), 1u);
+  for (Resource r : all_resources()) {
+    EXPECT_DOUBLE_EQ(agg.machine_capacities[0][r],
+                     4 * cfg.machine_capacity[r]);
+  }
+  EXPECT_EQ(agg.tracker, sim::TrackerMode::kAllocation);
+  EXPECT_EQ(agg.estimation.mode, sim::EstimationMode::kOracle);
+  EXPECT_EQ(agg.seed, cfg.seed);
+  EXPECT_EQ(agg.heartbeat_period, cfg.heartbeat_period);
+}
+
+TEST(UpperBound, AggregateWorkloadMakesEveryReadLocal) {
+  sim::Workload w;
+  sim::JobSpec job;
+  sim::StageSpec s;
+  s.name = "map";
+  sim::TaskSpec t;
+  t.cpu_cycles = 10;
+  sim::InputSplit split;
+  split.bytes = 64 * kMB;
+  split.replicas = {0, 1, 2};
+  t.inputs.push_back(split);
+  s.tasks = {t, t};
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+
+  const sim::Workload agg = aggregate_workload(w);
+  ASSERT_EQ(agg.jobs.size(), 1u);
+  for (const auto& stage : agg.jobs[0].stages) {
+    for (const auto& task : stage.tasks) {
+      for (const auto& in : task.inputs) {
+        // Every read is local on the single aggregate machine.
+        EXPECT_EQ(in.replicas, std::vector<sim::MachineId>{0});
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tetris::sched

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -82,6 +83,16 @@ class FakeContext final : public sim::SchedulerContext {
     return avail_.at(static_cast<std::size_t>(m));
   }
   int running_tasks_on(sim::MachineId) const override { return 0; }
+  bool machine_up(sim::MachineId m) const override {
+    return down_.count(m) == 0;
+  }
+  void set_machine_up(sim::MachineId m, bool up) {
+    if (up) {
+      down_.erase(m);
+    } else {
+      down_.insert(m);
+    }
+  }
 
   std::vector<sim::GroupView> runnable_groups() const override {
     std::vector<sim::GroupView> out;
@@ -179,6 +190,7 @@ class FakeContext final : public sim::SchedulerContext {
   std::vector<sim::JobView> jobs_;
   std::vector<sim::GroupView> imminent_;
   std::vector<sim::RunningTaskView> running_;
+  std::set<sim::MachineId> down_;
   SimTime now_ = 0;
   mutable long probes_ = 0;
 };
