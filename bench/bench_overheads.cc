@@ -4,12 +4,24 @@
 // and application-master heartbeats with 10K / 50K pending tasks and finds
 // Tetris comparable to stock YARN (sub-millisecond). We report (a)
 // google-benchmark micro-benchmarks of the hot scoring paths and (b) the
-// measured per-pass scheduling latency from full simulations at different
-// backlog sizes.
+// measured per-pass scheduling latency from full simulations, comparing
+// the naive recompute-everything oracle against the optimized hot path
+// (DESIGN.md §8) on the same workload — the schedules are bit-identical,
+// so the latency gap is pure bookkeeping cost.
+//
+// Usage: bench_overheads [gbench flags] [jobs] [machines] [seed]
+//   jobs/machines size the heavy backlog run (default 230 jobs x 30
+//   machines ~ 10K pending tasks at t=0). Per-pass samples land in
+//   bench_results/table8_overheads.csv, counter totals in
+//   bench_results/table8_perf_counters.csv.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
 #include <iostream>
+#include <string>
 
+#include "analysis/export.h"
 #include "bench/harness.h"
 #include "core/demand_estimator.h"
 #include "tracker/token_bucket.h"
@@ -70,32 +82,123 @@ void BM_TokenBucket(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenBucket);
 
-// Table 8: mean/max per-pass scheduler latency from full runs.
-void print_pass_latency_table() {
+// Mean pass latency restricted to the heavy passes (backlog at least
+// `cut`): the regime Table 8 talks about. Returns {mean_ms, passes}.
+std::pair<double, long> heavy_mean_ms(const sim::SimResult& r, int cut) {
+  double total = 0;
+  long n = 0;
+  for (const auto& s : r.pass_samples) {
+    if (s.backlog < cut) continue;
+    total += s.seconds;
+    n++;
+  }
+  return {n ? total / static_cast<double>(n) * 1e3 : 0.0, n};
+}
+
+// Table 8: naive vs optimized per-pass latency from full runs, plus the
+// slot-fair baseline for context. All three drain the same workload; the
+// two Tetris runs produce bit-identical schedules (the equivalence test
+// enforces it — here we spot-check makespan).
+void print_pass_latency_table(const bench::Scale& heavy_scale,
+                              std::string* samples_csv,
+                              std::string* counters_csv) {
   std::cout << "\nTable 8 — per-pass scheduling latency (one pass matches "
                "tasks to all machines; the paper reports per-heartbeat RM "
-               "costs of ~0.1-1 ms):\n";
+               "costs of ~0.1-1 ms). arrival_window=0: every job is "
+               "pending at t=0, so the first passes see the full backlog.\n";
   Table t({"scheduler", "backlog (tasks)", "passes", "mean pass (ms)",
-           "max pass (ms)", "placements"});
-  for (int jobs : {60, 200}) {
-    bench::Scale scale;
-    scale.jobs = jobs;
-    scale.machines = 30;
+           "max pass (ms)", "mean @ heavy backlog (ms)", "placements"});
+
+  bool first = true;
+  for (const bench::Scale& scale :
+       {bench::Scale{60, heavy_scale.machines, heavy_scale.seed},
+        heavy_scale}) {
     const sim::Workload w =
         bench::facebook_workload(scale, /*arrival_window=*/0);
-    const sim::SimConfig cfg = bench::facebook_cluster(scale);
+    sim::SimConfig cfg = bench::facebook_cluster(scale);
+    cfg.collect_pass_samples = true;
+    // Heavy = at least half the workload's tasks still runnable. (The
+    // very-first-pass backlog is a single sample and too noisy to quote;
+    // this cut keeps enough passes for a stable mean.)
+    const int cut = static_cast<int>(0.5 * static_cast<double>(
+                                               w.total_tasks()));
+
+    // The schedules are deterministic, so repeated runs do identical
+    // work; keeping the repetition with the lowest mean pass latency
+    // filters scheduler-exogenous noise (this box is a single shared
+    // vCPU) the same way benchmark frameworks report min-of-N.
+    constexpr int kReps = 3;
+    const auto best_of = [&](auto run_fn) {
+      sim::SimResult best;
+      for (int rep = 0; rep < kReps; ++rep) {
+        sim::SimResult r = run_fn();
+        if (rep == 0 || r.scheduler_cost.mean_seconds() <
+                            best.scheduler_cost.mean_seconds()) {
+          best = std::move(r);
+        }
+      }
+      return best;
+    };
 
     sched::SlotScheduler fair;
-    const auto r_fair = bench::run_baseline(cfg, w, fair);
-    const auto r_tetris = bench::run_tetris(cfg, w);
-    for (const auto* r : {&r_fair, &r_tetris}) {
+    const auto r_fair =
+        best_of([&] { return bench::run_baseline(cfg, w, fair); });
+
+    sim::SimConfig naive_cfg = cfg;
+    naive_cfg.naive_scheduler_view = true;
+    core::TetrisConfig naive_tcfg;
+    naive_tcfg.naive_scoring = true;
+    naive_tcfg.name = "tetris-naive";
+    const auto r_naive =
+        best_of([&] { return bench::run_tetris(naive_cfg, w, naive_tcfg); });
+
+    core::TetrisConfig opt_tcfg;
+    opt_tcfg.name = "tetris-opt";
+    const auto r_opt =
+        best_of([&] { return bench::run_tetris(cfg, w, opt_tcfg); });
+
+    if (r_naive.makespan != r_opt.makespan) {
+      std::cerr << "ERROR: optimized schedule diverged from naive oracle "
+                   "(makespan "
+                << r_opt.makespan << " vs " << r_naive.makespan << ")\n";
+    }
+
+    for (const auto* r : {&r_fair, &r_naive, &r_opt}) {
+      bench::warn_if_incomplete(*r);
       const auto& c = r->scheduler_cost;
+      const auto [heavy_ms, heavy_n] = heavy_mean_ms(*r, cut);
       t.add_row({r->scheduler_name, std::to_string(w.total_tasks()),
                  std::to_string(c.invocations),
                  format_double(c.mean_seconds() * 1e3, 3),
                  format_double(c.max_seconds * 1e3, 3),
+                 format_double(heavy_ms, 3) + " (" +
+                     std::to_string(heavy_n) + "p)",
                  std::to_string(c.placements)});
+      const std::string label =
+          r->scheduler_name + "-" + std::to_string(scale.jobs) + "j";
+      *samples_csv += analysis::pass_samples_csv(label, *r, first);
+      *counters_csv += analysis::perf_counters_csv(label, *r, first);
+      first = false;
     }
+
+    const auto [naive_heavy, nn] = heavy_mean_ms(r_naive, cut);
+    const auto [opt_heavy, on] = heavy_mean_ms(r_opt, cut);
+    std::cout << "  " << w.total_tasks() << " pending tasks: naive "
+              << format_double(r_naive.scheduler_cost.mean_seconds() * 1e3, 3)
+              << " ms/pass vs optimized "
+              << format_double(r_opt.scheduler_cost.mean_seconds() * 1e3, 3)
+              << " ms/pass ("
+              << format_double(r_naive.scheduler_cost.mean_seconds() /
+                                   std::max(1e-12,
+                                            r_opt.scheduler_cost
+                                                .mean_seconds()),
+                               2)
+              << "x overall";
+    if (nn > 0 && on > 0 && opt_heavy > 0) {
+      std::cout << ", " << format_double(naive_heavy / opt_heavy, 2)
+                << "x at >=" << cut << "-task backlog";
+    }
+    std::cout << ")\n";
   }
   std::cout << t.to_string();
 }
@@ -106,6 +209,16 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  print_pass_latency_table();
+
+  bench::Scale def;
+  def.jobs = 230;  // ~10K tasks at t=0 on the default Facebook mix
+  def.machines = 30;
+  const bench::Scale scale = bench::Scale::from_args(argc, argv, def);
+
+  std::string samples_csv;
+  std::string counters_csv;
+  print_pass_latency_table(scale, &samples_csv, &counters_csv);
+  write_file("bench_results/table8_overheads.csv", samples_csv);
+  write_file("bench_results/table8_perf_counters.csv", counters_csv);
   return 0;
 }

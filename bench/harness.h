@@ -34,9 +34,16 @@ struct Scale {
 
   static Scale from_args(int argc, char** argv, Scale def) {
     Scale s = def;
-    if (argc > 1) s.jobs = std::atoi(argv[1]);
-    if (argc > 2) s.machines = std::atoi(argv[2]);
-    if (argc > 3) s.seed = std::strtoull(argv[3], nullptr, 10);
+    int pos = 0;
+    for (int i = 1; i < argc; ++i) {
+      if (argv[i][0] == '-') continue;  // leftover flags (e.g. gbench's)
+      switch (pos++) {
+        case 0: s.jobs = std::atoi(argv[i]); break;
+        case 1: s.machines = std::atoi(argv[i]); break;
+        case 2: s.seed = std::strtoull(argv[i], nullptr, 10); break;
+        default: break;
+      }
+    }
     return s;
   }
   static Scale from_args(int argc, char** argv) {

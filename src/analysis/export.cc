@@ -69,6 +69,36 @@ std::string churn_csv(const sim::SimResult& result) {
   return os.str();
 }
 
+std::string pass_samples_csv(const std::string& label,
+                             const sim::SimResult& result, bool with_header) {
+  std::ostringstream os;
+  if (with_header) os << "mode,time,backlog,placements,pass_seconds\n";
+  for (const auto& s : result.pass_samples) {
+    os << escape(label) << "," << s.time << "," << s.backlog << ","
+       << s.placements << "," << s.seconds << "\n";
+  }
+  return os.str();
+}
+
+std::string perf_counters_csv(const std::string& label,
+                              const sim::SimResult& result, bool with_header) {
+  std::ostringstream os;
+  if (with_header) {
+    os << "mode,score_evals,probes_issued,probe_reuses,sticky_rejects,"
+          "fit_index_skips,row_skips,probe_cache_hits,probe_cache_misses,"
+          "estimate_cache_hits,estimate_cache_misses,avail_cache_hits,"
+          "avail_recomputes\n";
+  }
+  const auto& p = result.perf;
+  os << escape(label) << "," << p.score_evals << "," << p.probes_issued << ","
+     << p.probe_reuses << "," << p.sticky_rejects << "," << p.fit_index_skips
+     << "," << p.row_skips << "," << p.probe_cache_hits << ","
+     << p.probe_cache_misses << ","
+     << p.estimate_cache_hits << "," << p.estimate_cache_misses << ","
+     << p.avail_cache_hits << "," << p.avail_recomputes << "\n";
+  return os.str();
+}
+
 bool export_result(const std::string& prefix, const sim::SimResult& result) {
   return write_file(prefix + "_jobs.csv", jobs_csv(result)) &&
          write_file(prefix + "_tasks.csv", tasks_csv(result)) &&

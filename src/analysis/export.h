@@ -24,6 +24,21 @@ std::string timeline_csv(const sim::SimResult& result);
 // work lost, time-weighted effective capacity.
 std::string churn_csv(const sim::SimResult& result);
 
+// One row per scheduling pass (needs SimConfig::collect_pass_samples):
+// time, backlog, placements, latency in seconds. The raw material of
+// Table 8's latency-vs-backlog curves; rows carry a caller-supplied label
+// (e.g. "naive" / "optimized") so runs can share one file.
+std::string pass_samples_csv(const std::string& label,
+                             const sim::SimResult& result,
+                             bool with_header = true);
+
+// Single-row hot-path counter dump (DESIGN.md §8): score evaluations,
+// probes issued/reused, sticky rejections, fit-index skips, and the
+// simulator-side cache hit/miss totals.
+std::string perf_counters_csv(const std::string& label,
+                              const sim::SimResult& result,
+                              bool with_header = true);
+
 // Writes the pieces next to each other: <prefix>_jobs.csv, _tasks.csv,
 // _timeline.csv, _churn.csv. Returns false if any write failed.
 bool export_result(const std::string& prefix, const sim::SimResult& result);

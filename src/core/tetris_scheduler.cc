@@ -35,6 +35,20 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // that behaviour, see sim/config.h).
   (void)ctx.take_reports();
 
+  // Pass-local instrumentation, folded into the lifetime counters and the
+  // context's sink (SimResult::perf) on every exit path. Observation
+  // only: nothing below may branch on these.
+  util::PerfCounters pc;
+  struct CounterFlush {
+    sim::SchedulerContext& ctx;
+    util::PerfCounters& pass;
+    util::PerfCounters& lifetime;
+    ~CounterFlush() {
+      lifetime += pass;
+      if (auto* sink = ctx.perf_counters()) *sink += pass;
+    }
+  } counter_flush{ctx, pc, perf_};
+
   auto jobs = ctx.active_jobs();
   auto groups = ctx.runnable_groups();
   if (jobs.empty() || groups.empty()) return;
@@ -172,6 +186,23 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // invalidates its machine's column (availability changed), the source
   // machines of its remote legs, and its group's row (the best-locality
   // candidate task changed).
+  //
+  // Three shortcuts (off under naive_scoring) exploit that availability
+  // only falls within a pass — place() subtracts, and preemption runs
+  // only after this loop (DESIGN.md §8):
+  //   * sticky rejection: a cell rejected for fit reasons stays rejected
+  //     under lower availability, so a column invalidation need not
+  //     re-evaluate it;
+  //   * probe reuse: a column invalidation leaves the group's candidate
+  //     set untouched, so the kept probe is bit-identical to a re-probe
+  //     and only fits + alignment need recomputing;
+  //   * free-capacity index: a group whose cpu/mem estimate exceeds the
+  //     component-wise max availability over up machines would cheap-
+  //     reject everywhere — skip its whole row before any dot product.
+  // None of them changes which cells get *scored*, so the eps normalizer
+  // accumulation (alignment_sum_/alignment_count_) — and with it every
+  // placement — matches the naive path bit for bit.
+  const bool naive = config_.naive_scoring;
   const int num_machines = ctx.num_machines();
   const std::size_t num_groups = groups.size();
   struct Cell {
@@ -179,6 +210,8 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     double alignment = 0;
     bool fresh = false;     // probe + alignment are up to date
     bool rejected = false;  // does not fit; sticky until invalidated
+    bool probe_ok = false;  // probe matches the group's candidate set
+    bool sticky = false;    // rejection is monotone in availability
   };
   std::vector<Cell> cells(num_groups * static_cast<std::size_t>(num_machines));
   const auto cell = [&](std::size_t g, int m) -> Cell& {
@@ -186,11 +219,31 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
                  static_cast<std::size_t>(m)];
   };
 
+  // Count of fresh-and-rejected cells per row. When it reaches
+  // num_machines the row scan would do nothing at all (every cell is up
+  // to date and skipped), so the round loop jumps the whole row. On a
+  // saturated cluster most backlogged rows sit in this state, turning the
+  // per-round cost from O(groups * machines) into O(groups).
+  std::vector<int> row_rejected(num_groups, 0);
+  const auto invalidate_column_cell = [&](std::size_t g, int m) {
+    Cell& c = cell(g, m);
+    if (c.fresh && c.rejected) row_rejected[g]--;
+    c.fresh = false;
+  };
+
   const auto refresh_cell = [&](std::size_t g, int m) {
     Cell& c = cell(g, m);
+    auto& group = groups[g];
+    if (!naive && c.rejected && c.sticky) {
+      // The rejection was a fit test against availability that has only
+      // fallen since (or a pass-constant condition): still rejected.
+      c.fresh = true;
+      pc.sticky_rejects++;
+      return;
+    }
     c.fresh = true;
     c.rejected = true;
-    auto& group = groups[g];
+    c.sticky = true;
     if (group.runnable <= 0) return;
     // A down machine admits nothing; bail before probing — an invalid
     // probe below means "group drained", which a churn outage is not.
@@ -198,22 +251,48 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     const Resources avail = ctx.available(m);
     // Cheap exact reject on the placement-independent dimensions.
     if (!sched::fits_cpu_mem(group.est_demand, avail)) return;
-    sim::Probe p = ctx.probe(group.ref, m);
-    if (!p.valid) {
-      group.runnable = 0;
-      return;
+    if (naive || !c.probe_ok) {
+      sim::Probe p = ctx.probe(group.ref, m);
+      pc.probes_issued++;
+      if (!p.valid) {
+        group.runnable = 0;
+        return;
+      }
+      c.probe = std::move(p);
+      c.probe_ok = true;
+    } else {
+      pc.probe_reuses++;
     }
-    if (!fits(p)) return;
+    if (!fits(c.probe)) return;
     const Resources cap = ctx.capacity(m);
-    double a = alignment_score(config_.alignment, p.demand.normalized_by(cap),
+    double a = alignment_score(config_.alignment,
+                               c.probe.demand.normalized_by(cap),
                                avail.normalized_by(cap));
-    a *= 1.0 - config_.remote_penalty * (1.0 - p.local_fraction);
+    a *= 1.0 - config_.remote_penalty * (1.0 - c.probe.local_fraction);
+    pc.score_evals++;
     alignment_sum_ += std::abs(a);
     alignment_count_++;
-    c.probe = std::move(p);
     c.alignment = a;
     c.rejected = false;
+    c.sticky = false;
   };
+
+  // Free-capacity index: component-wise max availability over up
+  // machines. fits_cpu_mem failing against it implies the same failure
+  // against every individual machine (the predicate is monotone per
+  // component), so skipping a row only ever skips would-be rejections.
+  // Fresh non-rejected cells cannot hide behind a skip: their machine's
+  // availability is unchanged since they were scored (place() invalidates
+  // the columns it drains), and the index dominates it.
+  Resources max_avail;
+  const auto recompute_fit_index = [&]() {
+    max_avail = Resources{};
+    for (int m = 0; m < num_machines; ++m) {
+      if (!ctx.machine_up(m)) continue;
+      max_avail = max_avail.cwise_max(ctx.available(m));
+    }
+  };
+  if (!naive) recompute_fit_index();
 
   // Future-demand hold-back (§3.5 extension): demands of stages about to
   // unblock within the lookahead window. A tier-0 candidate loses a
@@ -302,11 +381,29 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       const double rem = config_.srtf_weight > 0
                              ? jobs[job_index.at(group.ref.job)].remaining_work
                              : 0.0;
+      // Free-capacity index: if the group's cpu/mem estimate exceeds even
+      // the component-wise max availability, every machine would cheap-
+      // reject it — skip the row without touching a single cell.
+      if (!naive && !sched::fits_cpu_mem(group.est_demand, max_avail)) {
+        pc.fit_index_skips += num_machines;
+        continue;
+      }
+      // Whole-row skip: every cell is fresh and rejected, so the inner
+      // loop below would fall straight through without scoring, refreshing
+      // or updating the best candidate. Identical outcome, O(1) cost.
+      if (!naive &&
+          row_rejected[g] == num_machines) {
+        pc.row_skips += num_machines;
+        continue;
+      }
       for (int m = 0; m < num_machines; ++m) {
         // A reserved machine only accepts the starved tier.
         if (m == reserved_machine && tier < 2) continue;
         Cell& c = cell(g, m);
-        if (!c.fresh) refresh_cell(g, m);
+        if (!c.fresh) {
+          refresh_cell(g, m);
+          if (c.rejected) row_rejected[g]++;
+        }
         if (c.rejected) continue;
         // Future hold-back: a better-aligned stage unblocks here before
         // this (longer) candidate would release the resources.
@@ -338,11 +435,17 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     // column this cell does not share.
     if (!fits(best->probe)) {
       best->rejected = true;
+      row_rejected[best_group]++;
       continue;
     }
     const sim::Probe placed = best->probe;
     if (!ctx.place(placed)) {
+      // Stale probe: the candidate set changed under us. Not an
+      // availability-monotone rejection — leave sticky unset and drop the
+      // probe so the next refresh recomputes from scratch, as naive does.
       best->rejected = true;
+      best->probe_ok = false;
+      row_rejected[best_group]++;
       continue;
     }
     groups[best_group].runnable--;
@@ -357,15 +460,27 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
 
     // Invalidate what the placement changed: the group's candidate task,
     // the host machine's availability, and the remote sources' budgets.
-    for (int m = 0; m < num_machines; ++m) cell(best_group, m).fresh = false;
+    // The placed group's row loses everything — its candidate set changed,
+    // so cached probes and rejections are void. Column invalidations only
+    // reflect fallen availability: cached probes stay valid (the probe is
+    // availability-independent) and rejections stay sticky.
+    for (int m = 0; m < num_machines; ++m) {
+      Cell& c = cell(best_group, m);
+      c.fresh = false;
+      c.probe_ok = false;
+      c.rejected = false;
+      c.sticky = false;
+    }
+    row_rejected[best_group] = 0;
     for (std::size_t g = 0; g < num_groups; ++g) {
-      cell(g, placed.machine).fresh = false;
+      invalidate_column_cell(g, placed.machine);
       for (const auto& leg : placed.remote) {
         // Rack uplinks carry ids past the placement machines; they have no
         // cell column (the pre-place re-validation catches staleness).
-        if (leg.machine < num_machines) cell(g, leg.machine).fresh = false;
+        if (leg.machine < num_machines) invalidate_column_cell(g, leg.machine);
       }
     }
+    if (!naive) recompute_fit_index();
   }
 
   // Fairness preemption (extension): the main loop exhausted every

@@ -30,6 +30,7 @@
 #include "core/alignment.h"
 #include "sched/fairness.h"
 #include "sim/scheduler.h"
+#include "util/perf_counters.h"
 #include "util/units.h"
 
 namespace tetris::core {
@@ -97,6 +98,13 @@ struct TetrisConfig {
   // baselines — reintroduces disk/network over-allocation.
   bool only_cpu_mem = false;
 
+  // Oracle switch for the hot-path shortcuts (DESIGN.md §8): when true,
+  // every stale candidate cell is fully recomputed — no sticky
+  // rejections, no probe reuse, no free-capacity index. Produces
+  // bit-identical schedules to the optimized default (the equivalence
+  // property test enforces it); exists so the oracle stays runnable.
+  bool naive_scoring = false;
+
   std::string name = "tetris";
 };
 
@@ -118,6 +126,10 @@ class TetrisScheduler final : public sim::Scheduler {
   };
   const Stats& stats() const { return stats_; }
 
+  // Lifetime hot-path counters (also mirrored into the context's sink,
+  // i.e. SimResult::perf, when one is attached).
+  const util::PerfCounters& perf() const { return perf_; }
+
  private:
   static long long group_key(const sim::GroupRef& ref) {
     return (static_cast<long long>(ref.job) << 20) | ref.stage;
@@ -125,6 +137,7 @@ class TetrisScheduler final : public sim::Scheduler {
 
   TetrisConfig config_;
   Stats stats_;
+  util::PerfCounters perf_;
   // Running average of |alignment| across the scheduler's lifetime; the
   // a_bar of eps = a_bar / p_bar. Frozen at the start of every candidate
   // round so simultaneous candidates are compared under one eps.

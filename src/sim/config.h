@@ -124,10 +124,21 @@ struct SimConfig {
 
   std::uint64_t seed = 1;
 
+  // Oracle switch for the hot-path caches (DESIGN.md §8): when true, the
+  // simulator rebuilds the scheduler's view (availability, probes, group
+  // estimates) from scratch every pass instead of serving it from the
+  // incrementally-invalidated caches. Slower, but trivially correct — the
+  // equivalence property test pins the cached path to it bit for bit.
+  bool naive_scheduler_view = false;
+
   bool collect_timeline = false;
   double timeline_period = 10.0;
   bool collect_fairness = false;  // per-job relative integral unfairness
   bool collect_task_records = true;
+  // Record one PassSample per scheduling pass (pass latency vs backlog);
+  // feeds bench_overheads' Table 8 CSV. Off by default: long runs make
+  // many passes.
+  bool collect_pass_samples = false;
 
   std::vector<BackgroundActivity> activities;
 

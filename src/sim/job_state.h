@@ -3,6 +3,9 @@
 // read-only views in scheduler.h.
 #pragma once
 
+#include <cstdint>
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "sim/placement.h"
@@ -59,6 +62,16 @@ struct StageState {
   // Indices (into `tasks`) of the currently runnable tasks, so probes scan
   // runnable candidates directly instead of walking finished ones.
   std::vector<int> runnable_indices;
+  // Bumped on every runnable-set mutation (task arrival, start, requeue).
+  // Version stamp for the simulator's cross-pass probe and group-estimate
+  // memos (DESIGN.md §8): both depend on the runnable set and its order.
+  std::uint64_t runnable_version = 0;
+  // (task index, runnable_since) in push order. Entries are appended with
+  // non-decreasing timestamps and never erased eagerly; a query pops
+  // stale fronts (task no longer runnable, or requeued since) and the
+  // surviving front is the stage's longest-waiting runnable task — an
+  // O(1)-amortized replacement for scanning every runnable task per pass.
+  std::deque<std::pair<int, SimTime>> wait_fifo;
   // Where this stage's outputs landed, aggregated per machine; feeds the
   // materialization of downstream shuffle splits.
   std::vector<std::pair<MachineId, double>> output_locations;

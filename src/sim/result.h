@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/spec.h"
+#include "util/perf_counters.h"
 #include "util/resources.h"
 #include "util/units.h"
 
@@ -78,6 +79,15 @@ struct SchedulerCost {
   }
 };
 
+// One scheduling pass, for the Table 8 latency-vs-backlog curves; only
+// collected when SimConfig::collect_pass_samples is set.
+struct PassSample {
+  SimTime time = 0;
+  int backlog = 0;  // runnable tasks cluster-wide when the pass started
+  int placements = 0;
+  double seconds = 0;  // wall clock inside Scheduler::schedule
+};
+
 struct SimResult {
   std::string scheduler_name;
   bool completed = false;  // all jobs finished before max_time
@@ -93,6 +103,9 @@ struct SimResult {
   std::array<std::vector<double>, kNumResources> machine_usage_samples;
 
   SchedulerCost scheduler_cost;
+  std::vector<PassSample> pass_samples;
+  // Hot-path cache/index effectiveness over the whole run (DESIGN.md §8).
+  util::PerfCounters perf;
   ChurnStats churn;
 
   double avg_jct() const;

@@ -16,6 +16,7 @@
 
 #include "sim/placement.h"
 #include "sim/spec.h"
+#include "util/perf_counters.h"
 #include "util/resources.h"
 #include "util/units.h"
 
@@ -161,6 +162,12 @@ class SchedulerContext {
 
   // Drains completion reports accumulated since the last call.
   virtual std::vector<TaskReport> take_reports() = 0;
+
+  // Hot-path instrumentation sink (DESIGN.md §8): schedulers add their
+  // per-pass counters here so they surface in SimResult::perf. May be
+  // null (contexts that do not collect). Strictly write-only for
+  // schedulers — decisions must never read it.
+  virtual util::PerfCounters* perf_counters() { return nullptr; }
 };
 
 class Scheduler {

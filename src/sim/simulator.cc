@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 
 #include "sim/job_state.h"
 #include "sim/machine.h"
+#include "util/perf_counters.h"
 #include "util/rng.h"
 
 namespace tetris::sim {
@@ -133,7 +135,11 @@ class Simulator {
   void materialize_stage(JobState& job, int stage_index);
   void make_stage_runnable(JobState& job, int stage_index);
   void add_runnable(StageState& stage, int task_index);
-  static void remove_runnable(StageState& stage, int task_index);
+  void remove_runnable(StageState& stage, int task_index);
+
+  // Longest-waiting runnable task of `stage` via its wait FIFO (pops
+  // stale fronts); exact equal of the naive scan over runnable_indices.
+  double stage_longest_wait(StageState& stage) const;
 
   // ---- rate recomputation ----
   void mark_dirty(MachineId m);
@@ -149,7 +155,11 @@ class Simulator {
   // modeling disabled).
   void add_rack_legs(MachineId host, PlacementDemand& pd) const;
   EstFactors est_factors(const JobState& job, int stage_index) const;
-  Resources tracker_available(MachineId m) const;
+  // When `has_young` is non-null it is set to whether the machine hosts a
+  // task still inside the ramp-up window — i.e. whether the kUsage view
+  // of this machine is time-dependent and must be recomputed next pass
+  // even without a demand change.
+  Resources tracker_available(MachineId m, bool* has_young = nullptr) const;
 
   void run_pass(Scheduler& scheduler);
   void sample_fairness(double dt);
@@ -178,6 +188,51 @@ class Simulator {
   std::vector<char> dirty_flags_;
   std::vector<MachineId> dirty_list_;
 
+  // ---- scheduler-view caches (DESIGN.md §8; naive_scheduler_view
+  // bypasses them all). Caches are lazy recompute-on-dirty, never
+  // incremental arithmetic: a served value is always the bit-identical
+  // output of the naive recomputation it replaced.
+  //
+  // Availability cache: tracker_available(m) from the previous pass,
+  // reusable while nothing changed the machine's books. avail_dirty_ is
+  // set by mark_dirty() and by the est-book updates that do not touch
+  // true demands; unlike dirty_flags_ it survives until the next pass
+  // consumes it. ramping_ flags machines whose kUsage view decays with
+  // time (a hosted task inside the ramp-up window): they recompute every
+  // pass until the youngster ages out.
+  std::vector<Resources> avail_cache_;
+  std::vector<char> avail_dirty_;
+  std::vector<char> ramping_;
+  // Probe memo across passes, keyed (job, stage, machine). An entry is
+  // valid while all four stamps match: the stage's runnable set, the
+  // churn epoch (machine_up_ and uplink capacities), the stage's finished
+  // count and the profiling epoch (both feed est_factors).
+  struct ProbeEntry {
+    std::uint64_t runnable_version = 0;
+    std::uint64_t churn_version = 0;
+    std::uint64_t profile_version = 0;
+    int finished = -1;
+    Probe probe;
+  };
+  mutable std::unordered_map<std::uint64_t, ProbeEntry> probe_memo_;
+  // Group-estimate memo (est_demand / est_duration / est_task_work per
+  // stage), same stamping minus the churn epoch (estimates are
+  // placement-independent). Serves runnable_groups(), imminent_groups()
+  // and the per-job remaining-work sums of active_jobs().
+  struct EstimateEntry {
+    std::uint64_t runnable_version = 0;
+    std::uint64_t profile_version = 0;
+    int finished = -1;
+    Resources est_demand;
+    double est_duration = 0;
+    double est_task_work = 0;
+  };
+  mutable std::unordered_map<long, EstimateEntry> est_memo_;
+  std::uint64_t churn_version_ = 0;
+  std::uint64_t profile_version_ = 0;
+  int runnable_total_ = 0;  // cluster-wide runnable tasks (pass backlog)
+  mutable util::PerfCounters perf_;
+
   // ---- churn state (real machines only; uplinks never fail) ----
   std::vector<char> machine_up_;
   std::vector<int> down_depth_;  // overlapping down windows nest
@@ -205,9 +260,28 @@ class Simulator {
 class Simulator::ContextImpl final : public SchedulerContext {
  public:
   explicit ContextImpl(Simulator& sim) : sim_(sim) {
-    avail_.reserve(sim_.machines_.size());
-    for (std::size_t m = 0; m < sim_.machines_.size(); ++m) {
-      avail_.push_back(sim_.tracker_available(static_cast<MachineId>(m)));
+    const std::size_t n = sim_.machines_.size();
+    avail_.reserve(n);
+    if (sim_.config_.naive_scheduler_view) {
+      for (std::size_t m = 0; m < n; ++m) {
+        avail_.push_back(sim_.tracker_available(static_cast<MachineId>(m)));
+        sim_.perf_.avail_recomputes++;
+      }
+      return;
+    }
+    const bool usage = sim_.config_.tracker == TrackerMode::kUsage;
+    for (std::size_t m = 0; m < n; ++m) {
+      if (sim_.avail_dirty_[m] || (usage && sim_.ramping_[m])) {
+        bool young = false;
+        sim_.avail_cache_[m] =
+            sim_.tracker_available(static_cast<MachineId>(m), &young);
+        sim_.ramping_[m] = young ? 1 : 0;
+        sim_.avail_dirty_[m] = 0;
+        sim_.perf_.avail_recomputes++;
+      } else {
+        sim_.perf_.avail_cache_hits++;
+      }
+      avail_.push_back(sim_.avail_cache_[m]);
     }
   }
 
@@ -240,6 +314,7 @@ class Simulator::ContextImpl final : public SchedulerContext {
   std::vector<TaskReport> take_reports() override {
     return std::exchange(sim_.reports_, {});
   }
+  util::PerfCounters* perf_counters() override { return &sim_.perf_; }
 
   long placements = 0;
 
@@ -253,11 +328,12 @@ class Simulator::ContextImpl final : public SchedulerContext {
 };
 
 std::vector<GroupView> Simulator::ContextImpl::runnable_groups() const {
+  const bool naive = sim_.config_.naive_scheduler_view;
   std::vector<GroupView> out;
-  for (const auto& job : sim_.jobs_) {
+  for (auto& job : sim_.jobs_) {
     if (!job.arrived || job.complete()) continue;
     for (int s = 0; s < static_cast<int>(job.stages.size()); ++s) {
-      const StageState& stage = job.stages[static_cast<std::size_t>(s)];
+      StageState& stage = job.stages[static_cast<std::size_t>(s)];
       if (stage.runnable <= 0) continue;
       GroupView v;
       v.ref = {job.id, s};
@@ -265,12 +341,16 @@ std::vector<GroupView> Simulator::ContextImpl::runnable_groups() const {
       v.running = stage.running;
       v.finished = stage.finished;
       v.total = stage.total();
-      for (int idx : stage.runnable_indices) {
-        const auto& task = stage.tasks[static_cast<std::size_t>(idx)];
-        if (task.runnable_since >= 0) {
-          v.longest_wait =
-              std::max(v.longest_wait, sim_.now_ - task.runnable_since);
+      if (naive) {
+        for (int idx : stage.runnable_indices) {
+          const auto& task = stage.tasks[static_cast<std::size_t>(idx)];
+          if (task.runnable_since >= 0) {
+            v.longest_wait =
+                std::max(v.longest_wait, sim_.now_ - task.runnable_since);
+          }
         }
+      } else {
+        v.longest_wait = sim_.stage_longest_wait(stage);
       }
       fill_group_estimates(job, s, v);
       out.push_back(std::move(v));
@@ -337,6 +417,22 @@ void Simulator::ContextImpl::fill_group_estimates(const JobState& job,
                                                   int stage_index,
                                                   GroupView& view) const {
   const StageState& stage = job.stages[static_cast<std::size_t>(stage_index)];
+  const bool naive = sim_.config_.naive_scheduler_view;
+  const long key = (static_cast<long>(job.id) << 20) |
+                   static_cast<long>(stage_index);
+  if (!naive) {
+    const auto it = sim_.est_memo_.find(key);
+    if (it != sim_.est_memo_.end() &&
+        it->second.runnable_version == stage.runnable_version &&
+        it->second.finished == stage.finished &&
+        it->second.profile_version == sim_.profile_version_) {
+      view.est_demand = it->second.est_demand;
+      view.est_duration = it->second.est_duration;
+      view.est_task_work = it->second.est_task_work;
+      sim_.perf_.estimate_cache_hits++;
+      return;
+    }
+  }
   // Representative: the first runnable task (tasks of a stage are
   // statistically similar, §4.1).
   const TaskState* rep = nullptr;
@@ -359,6 +455,12 @@ void Simulator::ContextImpl::fill_group_estimates(const JobState& job,
   view.est_task_work =
       view.est_demand.normalized_by(sim_.avg_capacity_).sum() *
       view.est_duration;
+  if (!naive) {
+    sim_.est_memo_[key] = {stage.runnable_version, sim_.profile_version_,
+                           stage.finished, view.est_demand,
+                           view.est_duration, view.est_task_work};
+    sim_.perf_.estimate_cache_misses++;
+  }
 }
 
 std::vector<JobView> Simulator::ContextImpl::active_jobs() const {
@@ -404,6 +506,29 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
     return p;
   const StageState& stage = job.stages[static_cast<std::size_t>(group.stage)];
 
+  // Cross-pass memo: the probe is a pure function of the stage's runnable
+  // set (candidate scan order included), the churn epoch (replica masks
+  // and uplink capacities) and the estimation inputs — never of current
+  // availability. Between heartbeats most stages and machines are
+  // untouched, so most probes replay verbatim.
+  const bool naive = sim_.config_.naive_scheduler_view;
+  const std::uint64_t key = (static_cast<std::uint64_t>(
+                                 static_cast<std::uint32_t>(group.job))
+                             << 32) |
+                            (static_cast<std::uint64_t>(group.stage) << 16) |
+                            static_cast<std::uint64_t>(machine);
+  if (!naive) {
+    const auto it = sim_.probe_memo_.find(key);
+    if (it != sim_.probe_memo_.end() &&
+        it->second.runnable_version == stage.runnable_version &&
+        it->second.churn_version == sim_.churn_version_ &&
+        it->second.profile_version == sim_.profile_version_ &&
+        it->second.finished == stage.finished) {
+      sim_.perf_.probe_cache_hits++;
+      return it->second.probe;
+    }
+  }
+
   // Best-locality candidate among runnable tasks (bounded scan).
   int best = -1;
   double best_frac = -1;
@@ -423,7 +548,16 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
     }
     if (best_frac >= 1.0) break;
   }
-  if (best < 0) return p;
+  const auto memoize = [&](const Probe& computed) {
+    if (naive) return;
+    sim_.probe_memo_[key] = {stage.runnable_version, sim_.churn_version_,
+                             sim_.profile_version_, stage.finished, computed};
+    sim_.perf_.probe_cache_misses++;
+  };
+  if (best < 0) {
+    memoize(p);
+    return p;
+  }
 
   const TaskState& task = stage.tasks[static_cast<std::size_t>(best)];
   PlacementDemand pd =
@@ -461,6 +595,7 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   p.local_fraction = best_frac;
   p.task_work =
       p.demand.normalized_by(sim_.avg_capacity_).sum() * p.duration;
+  memoize(p);
   return p;
 }
 
@@ -596,6 +731,9 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload)
   alloc_est_.assign(machines_.size(), Resources{});
   hosted_count_.assign(machines_.size(), 0);
   dirty_flags_.assign(machines_.size(), 0);
+  avail_cache_.assign(machines_.size(), Resources{});
+  avail_dirty_.assign(machines_.size(), 1);  // first pass computes all
+  ramping_.assign(machines_.size(), 0);
 
   machine_up_.assign(static_cast<std::size_t>(num_real_machines_), 1);
   down_depth_.assign(static_cast<std::size_t>(num_real_machines_), 0);
@@ -760,7 +898,8 @@ EstFactors Simulator::est_factors(const JobState& job,
   return {};
 }
 
-Resources Simulator::tracker_available(MachineId m) const {
+Resources Simulator::tracker_available(MachineId m, bool* has_young) const {
+  if (has_young != nullptr) *has_young = false;
   const auto& machine = machines_[static_cast<std::size_t>(m)];
   if (!machine.up()) return Resources{};  // a down machine offers nothing
   if (config_.tracker == TrackerMode::kAllocation) {
@@ -775,6 +914,7 @@ Resources Simulator::tracker_available(MachineId m) const {
     if (t.host != m) continue;  // remote leg, not a hosted task
     const double age = now_ - t.start_time;
     if (age >= config_.ramp_up_window) continue;
+    if (has_young != nullptr) *has_young = true;
     const double scale = config_.ramp_allowance_fraction *
                          (1.0 - age / config_.ramp_up_window);
     used += books_[static_cast<std::size_t>(uid)].est_local * scale;
@@ -854,6 +994,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
 
   result_.completed = completed_jobs_ == static_cast<int>(jobs_.size());
   result_.end_time = now_;
+  result_.perf = perf_;
   account_up_capacity();
   result_.churn.effective_capacity =
       now_ > 0 ? up_capacity_integral_ / now_ : 1.0;
@@ -903,6 +1044,9 @@ void Simulator::add_runnable(StageState& stage, int task_index) {
   task.runnable_pos = static_cast<int>(stage.runnable_indices.size());
   task.runnable_since = now_;
   stage.runnable_indices.push_back(task_index);
+  stage.runnable_version++;
+  stage.wait_fifo.emplace_back(task_index, now_);
+  runnable_total_++;
 }
 
 void Simulator::remove_runnable(StageState& stage, int task_index) {
@@ -913,6 +1057,24 @@ void Simulator::remove_runnable(StageState& stage, int task_index) {
   stage.tasks[static_cast<std::size_t>(last)].runnable_pos = pos;
   stage.runnable_indices.pop_back();
   task.runnable_pos = -1;
+  stage.runnable_version++;
+  runnable_total_--;
+}
+
+double Simulator::stage_longest_wait(StageState& stage) const {
+  while (!stage.wait_fifo.empty()) {
+    const auto& [idx, since] = stage.wait_fifo.front();
+    const TaskState& t = stage.tasks[static_cast<std::size_t>(idx)];
+    // Entries are lazily deleted: drop fronts whose task left the
+    // runnable set or was re-queued since (a newer entry exists for it).
+    if (t.status == TaskStatus::kRunnable && t.runnable_since == since)
+      break;
+    stage.wait_fifo.pop_front();
+  }
+  if (stage.wait_fifo.empty()) return 0;
+  // Pushes happen in non-decreasing simulation time, so the surviving
+  // front carries the minimum runnable_since over runnable tasks.
+  return now_ - stage.wait_fifo.front().second;
 }
 
 void Simulator::materialize_stage(JobState& job, int stage_index) {
@@ -1003,6 +1165,9 @@ void Simulator::start_task(const Probe& probe) {
   for (const auto& leg : book.est_remote) {
     const Resources r = leg_resources(leg);
     alloc_est_[static_cast<std::size_t>(leg.machine)] += r;
+    // est legs normally coincide with pd.remote (already marked), but the
+    // kAllocation view reads alloc_est_, so flag them explicitly.
+    avail_dirty_[static_cast<std::size_t>(leg.machine)] = 1;
   }
 
   remove_runnable(stage, probe.task_index);
@@ -1042,6 +1207,9 @@ void Simulator::complete_task(int uid, bool failed) {
     const Resources r = leg_resources(leg);
     alloc_est_[static_cast<std::size_t>(leg.machine)] =
         (alloc_est_[static_cast<std::size_t>(leg.machine)] - r).max_zero();
+    // After a read failover the est legs can differ from placement.remote
+    // (marked above): flag them for the availability cache explicitly.
+    avail_dirty_[static_cast<std::size_t>(leg.machine)] = 1;
   }
 
   stage.running--;
@@ -1110,12 +1278,20 @@ void Simulator::complete_task(int uid, bool failed) {
   if (job.complete()) {
     job.finish = now_;
     completed_jobs_++;
-    if (job.template_id >= 0) profiled_templates_.insert(job.template_id);
+    if (job.template_id >= 0 &&
+        profiled_templates_.insert(job.template_id).second) {
+      profile_version_++;  // kLearnedProfile estimates may snap to truth
+    }
   }
   refresh_dirty();
 }
 
 void Simulator::mark_dirty(MachineId m) {
+  // Anything that changes a machine's true demands, capacity or external
+  // usage also changes its tracker view: flag it for the next pass's
+  // availability cache (consumed there, unlike dirty_flags_ which
+  // refresh_dirty() clears).
+  avail_dirty_[static_cast<std::size_t>(m)] = 1;
   if (!dirty_flags_[static_cast<std::size_t>(m)]) {
     dirty_flags_[static_cast<std::size_t>(m)] = 1;
     dirty_list_.push_back(m);
@@ -1211,6 +1387,7 @@ void Simulator::sample_fairness(double dt) {
 }
 
 void Simulator::run_pass(Scheduler& scheduler) {
+  const int backlog = runnable_total_;
   ContextImpl ctx(*this);
   const auto t0 = std::chrono::steady_clock::now();
   scheduler.schedule(ctx);
@@ -1221,6 +1398,10 @@ void Simulator::run_pass(Scheduler& scheduler) {
   result_.scheduler_cost.total_seconds += secs;
   result_.scheduler_cost.max_seconds =
       std::max(result_.scheduler_cost.max_seconds, secs);
+  if (config_.collect_pass_samples) {
+    result_.pass_samples.push_back(
+        {now_, backlog, static_cast<int>(ctx.placements), secs});
+  }
   refresh_dirty();
 }
 
@@ -1294,6 +1475,7 @@ void Simulator::update_rack_uplink(MachineId member) {
 void Simulator::on_machine_down(MachineId m) {
   if (down_depth_[static_cast<std::size_t>(m)]++ > 0) return;  // nested
   down_count_++;
+  churn_version_++;  // probes depend on replica masks and uplink capacity
   result_.churn.machines_failed++;
   account_up_capacity();
   up_capacity_ =
@@ -1376,6 +1558,7 @@ void Simulator::on_machine_up(MachineId m) {
   if (depth <= 0) return;  // unmatched up event (defensive)
   if (--depth > 0) return;  // another down window still holds it
   down_count_--;
+  churn_version_++;  // probes depend on replica masks and uplink capacity
   result_.churn.machines_recovered++;
   account_up_capacity();
   up_capacity_ += machines_[static_cast<std::size_t>(m)].capacity();

@@ -1,0 +1,45 @@
+// Lightweight hot-path instrumentation for the scheduling pass (paper
+// §5.5, Table 8): plain counters bumped by the scheduler and by the
+// simulator's context caches, aggregated into SimResult so benches can
+// report *why* a pass was fast (cache hits, index skips) next to how fast
+// it was. Counting is observation only — no counter may influence a
+// scheduling decision, or the naive/optimized equivalence oracle breaks.
+#pragma once
+
+namespace tetris::util {
+
+struct PerfCounters {
+  // Scheduler-side (per candidate <group, machine> cell):
+  long score_evals = 0;      // alignment scores computed
+  long probes_issued = 0;    // ctx.probe() calls made by the scheduler
+  long probe_reuses = 0;     // stale cells rescored from a kept probe
+  long sticky_rejects = 0;   // stale cells skipped: rejection is monotone
+  long fit_index_skips = 0;  // cells skipped by the free-capacity index
+  long row_skips = 0;        // cells skipped: whole row fresh-and-rejected
+
+  // Simulator-side (SchedulerContext caches):
+  long probe_cache_hits = 0;       // probes answered from the cross-pass memo
+  long probe_cache_misses = 0;     // probes computed and memoized
+  long estimate_cache_hits = 0;    // group-estimate memo hits
+  long estimate_cache_misses = 0;  // group-estimate recomputes
+  long avail_cache_hits = 0;       // machines whose availability was reused
+  long avail_recomputes = 0;       // machines rescanned by the tracker
+
+  PerfCounters& operator+=(const PerfCounters& o) {
+    score_evals += o.score_evals;
+    probes_issued += o.probes_issued;
+    probe_reuses += o.probe_reuses;
+    sticky_rejects += o.sticky_rejects;
+    fit_index_skips += o.fit_index_skips;
+    row_skips += o.row_skips;
+    probe_cache_hits += o.probe_cache_hits;
+    probe_cache_misses += o.probe_cache_misses;
+    estimate_cache_hits += o.estimate_cache_hits;
+    estimate_cache_misses += o.estimate_cache_misses;
+    avail_cache_hits += o.avail_cache_hits;
+    avail_recomputes += o.avail_recomputes;
+    return *this;
+  }
+};
+
+}  // namespace tetris::util

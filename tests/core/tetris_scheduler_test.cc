@@ -9,6 +9,7 @@
 #include <algorithm>
 
 #include "sim/simulator.h"
+#include "tests/support/fake_context.h"
 #include "util/units.h"
 
 namespace tetris::core {
@@ -636,6 +637,114 @@ INSTANTIATE_TEST_SUITE_P(
         KnobCase{0.25, 0.9, 1, AlignmentKind::kL2NormRatio},
         KnobCase{0.25, 0.9, 1, AlignmentKind::kFfdProd},
         KnobCase{0.25, 0.9, 1, AlignmentKind::kFfdSum}));
+
+// ---------------------------------------------------------------------------
+// Hot-path shortcuts (DESIGN.md §8), pinned through the FakeContext: the
+// free-capacity index, sticky rejection and probe reuse must change only
+// how much work a pass does — never which placements it commits.
+
+Resources cpu_mem(double cores, double mem_gb) {
+  Resources d;
+  d[Resource::kCpu] = cores;
+  d[Resource::kMem] = mem_gb * kGB;
+  return d;
+}
+
+test::FakeContext hot_path_context() {
+  const Resources cap =
+      Resources::full(8, 8 * kGB, 100 * kMB, 100 * kMB, 125 * kMB, 125 * kMB);
+  test::FakeContext ctx({cap, cap});
+  // Machine 0 is cpu-rich / mem-poor, machine 1 the reverse: group E fits
+  // the component-wise max (so the free-capacity index cannot drop it) but
+  // no single machine, so it cheap-rejects everywhere and every later
+  // placement-triggered re-touch of its cells must answer from the sticky
+  // bit. G outranks F on machine 0 and places first, so F's already-valid
+  // probe there is re-scored via probe reuse in the next round.
+  ctx.set_available(0, cpu_mem(6, 1));
+  ctx.set_available(1, cpu_mem(1, 6));
+  ctx.add_group(0, 0, 1, cpu_mem(4, 4));     // E: fits nowhere, sticky
+  ctx.add_group(1, 0, 3, cpu_mem(1, 0.5));   // F: placed via probe reuse
+  ctx.add_group(2, 0, 1, cpu_mem(2, 0.25));  // G: wins round 1 on machine 0
+  return ctx;
+}
+
+TetrisConfig hot_path_config(bool naive) {
+  TetrisConfig tcfg;
+  tcfg.fairness_knob = 0;  // every job eligible: isolate the cell logic
+  tcfg.naive_scoring = naive;
+  return tcfg;
+}
+
+TEST(TetrisHotPath, OptimizedPlacesExactlyWhatNaivePlaces) {
+  auto naive_ctx = hot_path_context();
+  TetrisScheduler naive(hot_path_config(true));
+  naive.schedule(naive_ctx);
+
+  auto opt_ctx = hot_path_context();
+  TetrisScheduler opt(hot_path_config(false));
+  opt.schedule(opt_ctx);
+
+  ASSERT_EQ(naive_ctx.placements.size(), opt_ctx.placements.size());
+  for (std::size_t i = 0; i < naive_ctx.placements.size(); ++i) {
+    const auto& a = naive_ctx.placements[i];
+    const auto& b = opt_ctx.placements[i];
+    EXPECT_EQ(a.group.job, b.group.job) << i;
+    EXPECT_EQ(a.group.stage, b.group.stage) << i;
+    EXPECT_EQ(a.machine, b.machine) << i;
+    EXPECT_EQ(a.task_index, b.task_index) << i;
+  }
+  // The shortcuts must save probes, not merely match output.
+  EXPECT_LT(opt_ctx.probe_count(), naive_ctx.probe_count());
+  EXPECT_GT(opt.perf().sticky_rejects, 0);
+  EXPECT_GT(opt.perf().probe_reuses, 0);
+  EXPECT_EQ(naive.perf().sticky_rejects, 0);
+  EXPECT_EQ(naive.perf().probe_reuses, 0);
+  // Both paths score the same cells — the eps normalizer inputs agree.
+  EXPECT_EQ(naive.perf().score_evals, opt.perf().score_evals);
+}
+
+TEST(TetrisHotPath, FitIndexSkipsGroupsNoMachineCanHold) {
+  const Resources cap =
+      Resources::full(8, 8 * kGB, 100 * kMB, 100 * kMB, 125 * kMB, 125 * kMB);
+  test::FakeContext ctx({cap, cap});
+  ctx.add_group(0, 0, 2, cpu_mem(16, 4));  // wider than any machine
+  ctx.add_group(1, 0, 2, cpu_mem(2, 1));   // schedulable
+  TetrisScheduler opt(hot_path_config(false));
+  opt.schedule(ctx);
+
+  // Only the schedulable group's tasks land, and the unfittable group's
+  // whole row is skipped every round without a single probe.
+  EXPECT_EQ(ctx.placements.size(), 2u);
+  for (const auto& p : ctx.placements) EXPECT_EQ(p.group.job, 1);
+  EXPECT_GT(opt.perf().fit_index_skips, 0);
+
+  test::FakeContext naive_two({cap, cap});
+  naive_two.add_group(0, 0, 2, cpu_mem(16, 4));
+  naive_two.add_group(1, 0, 2, cpu_mem(2, 1));
+  TetrisScheduler naive(hot_path_config(true));
+  naive.schedule(naive_two);
+  EXPECT_EQ(naive_two.placements.size(), 2u);
+  EXPECT_EQ(naive.perf().fit_index_skips, 0);
+  // The unfittable row cheap-rejects before probing on both paths, so
+  // probe counts agree here; the index saves the per-cell scan itself.
+  EXPECT_EQ(naive_two.probe_count(), ctx.probe_count());
+}
+
+TEST(TetrisHotPath, FitIndexIgnoresDownMachines) {
+  const Resources cap =
+      Resources::full(8, 8 * kGB, 100 * kMB, 100 * kMB, 125 * kMB, 125 * kMB);
+  test::FakeContext ctx({cap, cap});
+  ctx.set_machine_up(0, false);
+  ctx.set_available(1, cpu_mem(1, 1));  // too tight for the group
+  ctx.add_group(0, 0, 1, cpu_mem(4, 2));
+  TetrisScheduler opt(hot_path_config(false));
+  opt.schedule(ctx);
+  // The down machine's (full) capacity must not inflate the index: with
+  // only machine 1's availability in it, the group is skipped outright.
+  EXPECT_TRUE(ctx.placements.empty());
+  EXPECT_EQ(ctx.probe_count(), 0);
+  EXPECT_GT(opt.perf().fit_index_skips, 0);
+}
 
 }  // namespace
 }  // namespace tetris::core
