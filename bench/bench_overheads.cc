@@ -203,6 +203,77 @@ void print_pass_latency_table(const bench::Scale& heavy_scale,
   std::cout << t.to_string();
 }
 
+// Thread-scaling sweep (DESIGN.md §9): the optimized pass at 1, 2, 4 and
+// 8 workers against the serial scan, heavy scale only. Schedules are
+// bit-identical by construction (spot-checked on makespan), so the only
+// moving number is pass latency — which also captures the dispatch and
+// reduction overhead the sharded path pays on a small machine.
+void print_thread_scaling_table(const bench::Scale& heavy_scale,
+                                std::string* threads_csv) {
+  std::cout << "\nThread scaling — optimized pass, "
+            << "serial scan vs sharded scan (DESIGN.md §9). Same workload, "
+               "bit-identical schedules; latency is the only difference.\n";
+  Table t({"threads", "backlog (tasks)", "passes", "mean pass (ms)",
+           "mean @ heavy backlog (ms)", "max pass (ms)",
+           "reduction total (ms)", "makespan (s)"});
+  *threads_csv =
+      "threads,backlog_tasks,passes,mean_pass_ms,heavy_mean_pass_ms,"
+      "max_pass_ms,parallel_passes,reduction_total_ms,makespan\n";
+
+  const sim::Workload w =
+      bench::facebook_workload(heavy_scale, /*arrival_window=*/0);
+  sim::SimConfig cfg = bench::facebook_cluster(heavy_scale);
+  cfg.collect_pass_samples = true;
+  const int cut =
+      static_cast<int>(0.5 * static_cast<double>(w.total_tasks()));
+
+  constexpr int kReps = 3;
+  double serial_makespan = -1;
+  for (const int threads : {0, 1, 2, 4, 8}) {
+    sim::SimResult best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      core::TetrisConfig tcfg;
+      tcfg.name = "tetris-opt";
+      tcfg.num_threads = threads;
+      sim::SimResult r = bench::run_tetris(cfg, w, tcfg);
+      if (rep == 0 || r.scheduler_cost.mean_seconds() <
+                          best.scheduler_cost.mean_seconds()) {
+        best = std::move(r);
+      }
+    }
+    bench::warn_if_incomplete(best);
+    if (threads == 0) {
+      serial_makespan = best.makespan;
+    } else if (best.makespan != serial_makespan) {
+      std::cerr << "ERROR: " << threads
+                << "-thread schedule diverged from serial (makespan "
+                << best.makespan << " vs " << serial_makespan << ")\n";
+    }
+    const auto& c = best.scheduler_cost;
+    const auto [heavy_ms, heavy_n] = heavy_mean_ms(best, cut);
+    const double reduction_ms =
+        static_cast<double>(best.perf.reduction_nanos) * 1e-6;
+    t.add_row({threads == 0 ? "serial" : std::to_string(threads),
+               std::to_string(w.total_tasks()), std::to_string(c.invocations),
+               format_double(c.mean_seconds() * 1e3, 3),
+               format_double(heavy_ms, 3) + " (" + std::to_string(heavy_n) +
+                   "p)",
+               format_double(c.max_seconds * 1e3, 3),
+               format_double(reduction_ms, 3),
+               format_double(best.makespan, 1)});
+    *threads_csv += std::to_string(threads) + "," +
+                    std::to_string(w.total_tasks()) + "," +
+                    std::to_string(c.invocations) + "," +
+                    format_double(c.mean_seconds() * 1e3, 4) + "," +
+                    format_double(heavy_ms, 4) + "," +
+                    format_double(c.max_seconds * 1e3, 4) + "," +
+                    std::to_string(best.perf.parallel_passes) + "," +
+                    format_double(reduction_ms, 4) + "," +
+                    format_double(best.makespan, 3) + "\n";
+  }
+  std::cout << t.to_string();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,5 +291,9 @@ int main(int argc, char** argv) {
   print_pass_latency_table(scale, &samples_csv, &counters_csv);
   write_file("bench_results/table8_overheads.csv", samples_csv);
   write_file("bench_results/table8_perf_counters.csv", counters_csv);
+
+  std::string threads_csv;
+  print_thread_scaling_table(scale, &threads_csv);
+  write_file("bench_results/table8_threads.csv", threads_csv);
   return 0;
 }

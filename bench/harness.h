@@ -98,6 +98,7 @@ inline sim::SimResult run_baseline(sim::SimConfig cfg, const sim::Workload& w,
 inline sim::SimResult run_tetris(sim::SimConfig cfg, const sim::Workload& w,
                                  core::TetrisConfig tcfg = {}) {
   cfg.tracker = sim::TrackerMode::kUsage;
+  if (tcfg.num_threads == 0) tcfg.num_threads = cfg.num_threads;
   core::TetrisScheduler tetris(std::move(tcfg));
   return sim::simulate(cfg, w, tetris);
 }

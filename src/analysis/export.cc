@@ -87,7 +87,7 @@ std::string perf_counters_csv(const std::string& label,
     os << "mode,score_evals,probes_issued,probe_reuses,sticky_rejects,"
           "fit_index_skips,row_skips,probe_cache_hits,probe_cache_misses,"
           "estimate_cache_hits,estimate_cache_misses,avail_cache_hits,"
-          "avail_recomputes\n";
+          "avail_recomputes,parallel_passes,reduction_seconds,shard_evals\n";
   }
   const auto& p = result.perf;
   os << escape(label) << "," << p.score_evals << "," << p.probes_issued << ","
@@ -95,7 +95,14 @@ std::string perf_counters_csv(const std::string& label,
      << "," << p.row_skips << "," << p.probe_cache_hits << ","
      << p.probe_cache_misses << ","
      << p.estimate_cache_hits << "," << p.estimate_cache_misses << ","
-     << p.avail_cache_hits << "," << p.avail_recomputes << "\n";
+     << p.avail_cache_hits << "," << p.avail_recomputes << ","
+     << p.parallel_passes << ","
+     << static_cast<double>(p.reduction_nanos) * 1e-9 << ",";
+  // Per-shard score_evals as a ';'-joined list (empty for serial runs) so
+  // the column count stays fixed across thread counts.
+  for (std::size_t i = 0; i < p.shard_score_evals.size(); ++i)
+    os << (i ? ";" : "") << p.shard_score_evals[i];
+  os << "\n";
   return os.str();
 }
 

@@ -34,7 +34,10 @@ std::string pass_samples_csv(const std::string& label,
 
 // Single-row hot-path counter dump (DESIGN.md §8): score evaluations,
 // probes issued/reused, sticky rejections, fit-index skips, and the
-// simulator-side cache hit/miss totals.
+// simulator-side cache hit/miss totals. The trailing parallel-pass
+// columns (DESIGN.md §9) report sharded passes, wall-clock reduction
+// seconds, and a ';'-joined per-shard score_evals split (empty when
+// every pass ran serial).
 std::string perf_counters_csv(const std::string& label,
                               const sim::SimResult& result,
                               bool with_header = true);

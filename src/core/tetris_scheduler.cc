@@ -1,6 +1,7 @@
 #include "core/tetris_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
@@ -27,6 +28,8 @@ TetrisScheduler::TetrisScheduler(TetrisConfig config)
     throw std::invalid_argument("future_lookahead must be >= 0");
   if (config_.preemption_deficit <= 0 || config_.preemption_deficit > 1)
     throw std::invalid_argument("preemption_deficit must be in (0, 1]");
+  if (config_.num_threads < 0)
+    throw std::invalid_argument("num_threads must be >= 0");
 }
 
 void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
@@ -231,20 +234,31 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     c.fresh = false;
   };
 
-  const auto refresh_cell = [&](std::size_t g, int m) {
+  // Shared refresh core for the serial and the sharded scan. All mutable
+  // state is passed in so a shard worker can keep its own: `rpc` receives
+  // the counters, `on_score(|a|)` is invoked for every scored cell in
+  // cell-visit order (the serial path accumulates the eps normalizer
+  // directly; a worker records for the ordered replay at the barrier),
+  // and a probe that finds no candidate sets *drained instead of zeroing
+  // group.runnable (a shared write) — the serial wrapper zeroes it
+  // immediately, workers flag their shard and merge at the barrier.
+  const auto refresh_cell_with = [&](std::size_t g, int m,
+                                     util::PerfCounters& rpc,
+                                     bool locally_drained, bool* drained,
+                                     auto&& on_score) {
     Cell& c = cell(g, m);
     auto& group = groups[g];
     if (!naive && c.rejected && c.sticky) {
       // The rejection was a fit test against availability that has only
       // fallen since (or a pass-constant condition): still rejected.
       c.fresh = true;
-      pc.sticky_rejects++;
+      rpc.sticky_rejects++;
       return;
     }
     c.fresh = true;
     c.rejected = true;
     c.sticky = true;
-    if (group.runnable <= 0) return;
+    if (group.runnable <= 0 || locally_drained) return;
     // A down machine admits nothing; bail before probing — an invalid
     // probe below means "group drained", which a churn outage is not.
     if (!ctx.machine_up(m)) return;
@@ -253,15 +267,15 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     if (!sched::fits_cpu_mem(group.est_demand, avail)) return;
     if (naive || !c.probe_ok) {
       sim::Probe p = ctx.probe(group.ref, m);
-      pc.probes_issued++;
+      rpc.probes_issued++;
       if (!p.valid) {
-        group.runnable = 0;
+        *drained = true;
         return;
       }
       c.probe = std::move(p);
       c.probe_ok = true;
     } else {
-      pc.probe_reuses++;
+      rpc.probe_reuses++;
     }
     if (!fits(c.probe)) return;
     const Resources cap = ctx.capacity(m);
@@ -269,12 +283,20 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
                                c.probe.demand.normalized_by(cap),
                                avail.normalized_by(cap));
     a *= 1.0 - config_.remote_penalty * (1.0 - c.probe.local_fraction);
-    pc.score_evals++;
-    alignment_sum_ += std::abs(a);
-    alignment_count_++;
+    rpc.score_evals++;
+    on_score(std::abs(a));
     c.alignment = a;
     c.rejected = false;
     c.sticky = false;
+  };
+  const auto refresh_cell = [&](std::size_t g, int m) {
+    bool drained = false;
+    refresh_cell_with(g, m, pc, /*locally_drained=*/false, &drained,
+                      [&](double abs_a) {
+                        alignment_sum_ += abs_a;
+                        alignment_count_++;
+                      });
+    if (drained) groups[g].runnable = 0;
   };
 
   // Free-capacity index: component-wise max availability over up
@@ -350,6 +372,68 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     return claims;
   };
 
+  // ---- Sharded scan state (DESIGN.md §9) ----
+  // With num_threads >= 1 each round's scan is partitioned into
+  // min(num_threads, machines) contiguous column shards. Workers write
+  // only cells of their own columns plus their ShardState; everything
+  // shared (row_rejected, group.runnable, the eps normalizer, the global
+  // best) is merged serially at the barrier, in shard order, so the
+  // outcome is independent of worker interleaving — and, by the ordered
+  // replay below, bit-identical to the serial scan.
+  const int num_shards =
+      config_.num_threads > 0 ? std::min(config_.num_threads, num_machines)
+                              : 0;
+  const bool parallel = num_shards > 0;
+  if (parallel && !pool_)
+    pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+  // One scored cell: |alignment| destined for the eps normalizer. Within
+  // a shard, records append in (row, column) scan order; the barrier
+  // concatenates shards in order and a stable sort by row restores the
+  // exact serial accumulation order (columns stay ordered because shards
+  // are contiguous and appended ascending; rows of different waves are
+  // disjoint).
+  struct ScoreRecord {
+    std::size_t g;
+    double abs_a;
+  };
+  struct alignas(64) ShardState {
+    int m_lo = 0;
+    int m_hi = 0;
+    util::PerfCounters pc;
+    std::vector<ScoreRecord> records;
+    std::vector<int> rej_delta;   // per-row cells newly rejected this wave
+    std::vector<char> drained;    // rows whose re-probe found no candidate
+    bool has_best = false;
+    double best_score = 0;
+    std::size_t best_g = 0;
+    int best_m = -1;
+    std::size_t first_candidate_row = 0;
+  };
+  std::vector<ShardState> shards(static_cast<std::size_t>(num_shards));
+  if (parallel) {
+    const int base = num_machines / num_shards;
+    const int rem = num_machines % num_shards;
+    int lo = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      auto& st = shards[static_cast<std::size_t>(s)];
+      st.m_lo = lo;
+      st.m_hi = lo + base + (s < rem ? 1 : 0);
+      lo = st.m_hi;
+      st.rej_delta.assign(num_groups, 0);
+      st.drained.assign(num_groups, 0);
+    }
+    pc.parallel_passes++;
+    pc.shard_score_evals.assign(static_cast<std::size_t>(num_shards), 0);
+  }
+  std::vector<int> tier_by_row(parallel ? num_groups : 0);
+  struct ScanRow {
+    std::size_t g;
+    double rem;  // the job's remaining work, for the SRTF term
+  };
+  std::vector<ScanRow> scan_rows;
+  std::vector<ScoreRecord> round_records;
+  using Clock = std::chrono::steady_clock;
+
   while (true) {
     // eps is frozen for this round so all candidates are compared under
     // the same SRTF weight; the running a_bar only feeds later rounds.
@@ -369,64 +453,213 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     double best_score = 0;
     int best_tier = -1;
 
-    for (std::size_t g = 0; g < num_groups; ++g) {
-      auto& group = groups[g];
-      if (group.runnable <= 0) continue;
-      const int tier = tier_of(group);
-      // Priority (barrier/starved) groups bypass the fairness restriction:
-      // they take only a small amount of resources (§3.5).
-      if (tier == 0 && !eligible.contains(group.ref.job)) continue;
-      // Once a higher-tier candidate exists, lower tiers cannot win.
-      if (tier < best_tier) continue;
-      const double rem = config_.srtf_weight > 0
-                             ? jobs[job_index.at(group.ref.job)].remaining_work
-                             : 0.0;
-      // Free-capacity index: if the group's cpu/mem estimate exceeds even
-      // the component-wise max availability, every machine would cheap-
-      // reject it — skip the row without touching a single cell.
-      if (!naive && !sched::fits_cpu_mem(group.est_demand, max_avail)) {
-        pc.fit_index_skips += num_machines;
-        continue;
-      }
-      // Whole-row skip: every cell is fresh and rejected, so the inner
-      // loop below would fall straight through without scoring, refreshing
-      // or updating the best candidate. Identical outcome, O(1) cost.
-      if (!naive &&
-          row_rejected[g] == num_machines) {
-        pc.row_skips += num_machines;
-        continue;
-      }
-      for (int m = 0; m < num_machines; ++m) {
-        // A reserved machine only accepts the starved tier.
-        if (m == reserved_machine && tier < 2) continue;
-        Cell& c = cell(g, m);
-        if (!c.fresh) {
-          refresh_cell(g, m);
-          if (c.rejected) row_rejected[g]++;
+    if (!parallel) {
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        auto& group = groups[g];
+        if (group.runnable <= 0) continue;
+        const int tier = tier_of(group);
+        // Priority (barrier/starved) groups bypass the fairness
+        // restriction: they take only a small amount of resources (§3.5).
+        if (tier == 0 && !eligible.contains(group.ref.job)) continue;
+        // Once a higher-tier candidate exists, lower tiers cannot win.
+        if (tier < best_tier) continue;
+        const double rem =
+            config_.srtf_weight > 0
+                ? jobs[job_index.at(group.ref.job)].remaining_work
+                : 0.0;
+        // Free-capacity index: if the group's cpu/mem estimate exceeds
+        // even the component-wise max availability, every machine would
+        // cheap-reject it — skip the row without touching a single cell.
+        if (!naive && !sched::fits_cpu_mem(group.est_demand, max_avail)) {
+          pc.fit_index_skips += num_machines;
+          continue;
         }
-        if (c.rejected) continue;
-        // Future hold-back: a better-aligned stage unblocks here before
-        // this (longer) candidate would release the resources.
-        if (tier == 0 && !claims.empty()) {
-          bool held = false;
-          for (const auto& [align, eta] :
-               claims[static_cast<std::size_t>(m)]) {
-            if (align > c.alignment && c.probe.duration > eta) {
-              held = true;
-              break;
+        // Whole-row skip: every cell is fresh and rejected, so the inner
+        // loop below would fall straight through without scoring,
+        // refreshing or updating the best candidate. Identical outcome,
+        // O(1) cost.
+        if (!naive &&
+            row_rejected[g] == num_machines) {
+          pc.row_skips += num_machines;
+          continue;
+        }
+        for (int m = 0; m < num_machines; ++m) {
+          // A reserved machine only accepts the starved tier.
+          if (m == reserved_machine && tier < 2) continue;
+          Cell& c = cell(g, m);
+          if (!c.fresh) {
+            refresh_cell(g, m);
+            if (c.rejected) row_rejected[g]++;
+          }
+          if (c.rejected) continue;
+          // Future hold-back: a better-aligned stage unblocks here before
+          // this (longer) candidate would release the resources.
+          if (tier == 0 && !claims.empty()) {
+            bool held = false;
+            for (const auto& [align, eta] :
+                 claims[static_cast<std::size_t>(m)]) {
+              if (align > c.alignment && c.probe.duration > eta) {
+                held = true;
+                break;
+              }
+            }
+            if (held) continue;
+          }
+          const double score = c.alignment - round_eps * rem;
+          if (best == nullptr || tier > best_tier ||
+              (tier == best_tier && score > best_score)) {
+            best = &c;
+            best_group = g;
+            best_score = score;
+            best_tier = tier;
+          }
+        }
+      }
+    } else {
+      // Sharded scan in tier-descending waves. The serial loop's running
+      // best_tier skips a row exactly when a candidate-producing row of a
+      // strictly higher tier precedes it, so each wave scans its tier's
+      // rows up to `cutoff` — the first candidate-producing row of any
+      // higher wave — and the scanned set (hence every refresh, score and
+      // eps-normalizer contribution) matches the serial scan exactly.
+      for (std::size_t g = 0; g < num_groups; ++g)
+        tier_by_row[g] = tier_of(groups[g]);
+      round_records.clear();
+      std::size_t cutoff = num_groups;
+      for (int tier = 2; tier >= 0; --tier) {
+        // Row filters, in the serial loop's order and with its counters;
+        // row_rejected and group.runnable are barrier-stable, so this
+        // pre-pass is exact.
+        scan_rows.clear();
+        for (std::size_t g = 0; g < num_groups; ++g) {
+          auto& group = groups[g];
+          if (group.runnable <= 0 || tier_by_row[g] != tier) continue;
+          if (tier == 0 && !eligible.contains(group.ref.job)) continue;
+          if (g >= cutoff) continue;
+          if (!naive && !sched::fits_cpu_mem(group.est_demand, max_avail)) {
+            pc.fit_index_skips += num_machines;
+            continue;
+          }
+          if (!naive && row_rejected[g] == num_machines) {
+            pc.row_skips += num_machines;
+            continue;
+          }
+          const double rem =
+              config_.srtf_weight > 0
+                  ? jobs[job_index.at(group.ref.job)].remaining_work
+                  : 0.0;
+          scan_rows.push_back({g, rem});
+        }
+        if (scan_rows.empty()) continue;
+
+        pool_->parallel_for(num_shards, [&](int s) {
+          ShardState& st = shards[static_cast<std::size_t>(s)];
+          st.has_best = false;
+          st.best_m = -1;
+          st.first_candidate_row = num_groups;
+          for (const ScanRow& row : scan_rows) {
+            const std::size_t g = row.g;
+            for (int m = st.m_lo; m < st.m_hi; ++m) {
+              // A reserved machine only accepts the starved tier.
+              if (m == reserved_machine && tier < 2) continue;
+              Cell& c = cell(g, m);
+              if (!c.fresh) {
+                bool drained = false;
+                refresh_cell_with(g, m, st.pc, st.drained[g] != 0, &drained,
+                                  [&](double abs_a) {
+                                    st.records.push_back({g, abs_a});
+                                  });
+                if (drained) st.drained[g] = 1;
+                if (c.rejected) st.rej_delta[g]++;
+              }
+              if (c.rejected) continue;
+              if (tier == 0 && !claims.empty()) {
+                bool held = false;
+                for (const auto& [align, eta] :
+                     claims[static_cast<std::size_t>(m)]) {
+                  if (align > c.alignment && c.probe.duration > eta) {
+                    held = true;
+                    break;
+                  }
+                }
+                if (held) continue;
+              }
+              const double score = c.alignment - round_eps * row.rem;
+              if (st.first_candidate_row == num_groups)
+                st.first_candidate_row = g;
+              // Strict > keeps the first-encountered candidate on score
+              // ties, as the serial scan does.
+              if (!st.has_best || score > st.best_score) {
+                st.has_best = true;
+                st.best_score = score;
+                st.best_g = g;
+                st.best_m = m;
+              }
             }
           }
-          if (held) continue;
+        });
+
+        // Reduction barrier: merge shard results in shard order. Nothing
+        // here depends on worker timing, so the outcome is deterministic
+        // for any thread count.
+        const auto barrier_start = Clock::now();
+        for (auto& st : shards) {
+          round_records.insert(round_records.end(), st.records.begin(),
+                               st.records.end());
+          st.records.clear();
+          for (const ScanRow& row : scan_rows) {
+            row_rejected[row.g] += st.rej_delta[row.g];
+            st.rej_delta[row.g] = 0;
+            if (st.drained[row.g]) groups[row.g].runnable = 0;
+          }
+          cutoff = std::min(cutoff, st.first_candidate_row);
         }
-        const double score = c.alignment - round_eps * rem;
-        if (best == nullptr || tier > best_tier ||
-            (tier == best_tier && score > best_score)) {
-          best = &c;
-          best_group = g;
-          best_score = score;
-          best_tier = tier;
+        // Waves run highest tier first, so the first wave that yields any
+        // candidate holds the round's winner: the highest-scoring cell,
+        // ties broken by lowest row then lowest column — exactly the
+        // first-encountered rule of the serial row-major scan.
+        if (best == nullptr) {
+          for (auto& st : shards) {
+            if (!st.has_best) continue;
+            if (best == nullptr || st.best_score > best_score ||
+                (st.best_score == best_score && st.best_g < best_group)) {
+              best = &cell(st.best_g, st.best_m);
+              best_group = st.best_g;
+              best_score = st.best_score;
+              best_tier = tier;
+            }
+          }
         }
+        pc.reduction_nanos +=
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - barrier_start)
+                .count();
       }
+
+      // Ordered replay of the eps-normalizer accumulation: the serial
+      // scan adds |a| in row-major order over the scanned rows. Shard
+      // concatenation already ordered columns within each row, and rows
+      // of different waves are disjoint, so a stable sort by row restores
+      // the exact serial addition order — FP addition is not associative,
+      // and eps feeds every later round's scores.
+      const auto replay_start = Clock::now();
+      std::stable_sort(round_records.begin(), round_records.end(),
+                       [](const ScoreRecord& a, const ScoreRecord& b) {
+                         return a.g < b.g;
+                       });
+      for (const auto& r : round_records) {
+        alignment_sum_ += r.abs_a;
+        alignment_count_++;
+      }
+      for (std::size_t s = 0; s < shards.size(); ++s) {
+        pc.shard_score_evals[s] += shards[s].pc.score_evals;
+        pc += shards[s].pc;
+        shards[s].pc = util::PerfCounters{};
+      }
+      pc.reduction_nanos +=
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now() - replay_start)
+              .count();
     }
 
     if (best == nullptr) break;

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <unordered_map>
 
@@ -31,6 +32,7 @@
 #include "sched/fairness.h"
 #include "sim/scheduler.h"
 #include "util/perf_counters.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace tetris::core {
@@ -105,6 +107,15 @@ struct TetrisConfig {
   // property test enforces it); exists so the oracle stays runnable.
   bool naive_scoring = false;
 
+  // Worker threads for the scheduling pass (DESIGN.md §9). 0 runs the
+  // serial scan exactly as before; N >= 1 partitions each round's
+  // <group, machine> matrix into min(N, machines) contiguous column
+  // shards scanned by a reusable pool, with a deterministic reduction at
+  // the barrier — schedules are bit-identical to the serial path (and to
+  // the naive oracle) for every thread count, which the threaded
+  // equivalence and determinism tests enforce.
+  int num_threads = 0;
+
   std::string name = "tetris";
 };
 
@@ -138,6 +149,9 @@ class TetrisScheduler final : public sim::Scheduler {
   TetrisConfig config_;
   Stats stats_;
   util::PerfCounters perf_;
+  // Lazily created on the first pass when num_threads >= 1, then reused
+  // for every subsequent pass; workers idle between passes.
+  std::unique_ptr<util::ThreadPool> pool_;
   // Running average of |alignment| across the scheduler's lifetime; the
   // a_bar of eps = a_bar / p_bar. Frozen at the start of every candidate
   // round so simultaneous candidates are compared under one eps.

@@ -131,6 +131,11 @@ struct SimConfig {
   // equivalence property test pins the cached path to it bit for bit.
   bool naive_scheduler_view = false;
 
+  // Worker threads for the Tetris scheduling pass (DESIGN.md §9),
+  // forwarded into TetrisConfig::num_threads by the bench harness when
+  // the scheduler config leaves its own knob at 0. 0 = serial scan.
+  int num_threads = 0;
+
   bool collect_timeline = false;
   double timeline_period = 10.0;
   bool collect_fairness = false;  // per-job relative integral unfairness

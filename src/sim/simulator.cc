@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <unordered_map>
@@ -215,6 +216,12 @@ class Simulator {
     Probe probe;
   };
   mutable std::unordered_map<std::uint64_t, ProbeEntry> probe_memo_;
+  // Guards probe_memo_ and the probe_cache_* counters — the only shared
+  // state a probe() mutates — so the scheduler's column shards may probe
+  // concurrently (DESIGN.md §9). Shards own disjoint machines, hence
+  // disjoint memo keys; the lock only serializes the map structure, not
+  // the probe computation, which runs outside it.
+  mutable std::mutex probe_mu_;
   // Group-estimate memo (est_demand / est_duration / est_task_work per
   // stage), same stamping minus the churn epoch (estimates are
   // placement-independent). Serves runnable_groups(), imminent_groups()
@@ -518,6 +525,7 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
                             (static_cast<std::uint64_t>(group.stage) << 16) |
                             static_cast<std::uint64_t>(machine);
   if (!naive) {
+    std::lock_guard<std::mutex> lock(sim_.probe_mu_);
     const auto it = sim_.probe_memo_.find(key);
     if (it != sim_.probe_memo_.end() &&
         it->second.runnable_version == stage.runnable_version &&
@@ -550,6 +558,7 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   }
   const auto memoize = [&](const Probe& computed) {
     if (naive) return;
+    std::lock_guard<std::mutex> lock(sim_.probe_mu_);
     sim_.probe_memo_[key] = {stage.runnable_version, sim_.churn_version_,
                              sim_.profile_version_, stage.finished, computed};
     sim_.perf_.probe_cache_misses++;

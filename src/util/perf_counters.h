@@ -6,6 +6,9 @@
 // scheduling decision, or the naive/optimized equivalence oracle breaks.
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 namespace tetris::util {
 
 struct PerfCounters {
@@ -25,6 +28,15 @@ struct PerfCounters {
   long avail_cache_hits = 0;       // machines whose availability was reused
   long avail_recomputes = 0;       // machines rescanned by the tracker
 
+  // Parallel-pass bookkeeping (DESIGN.md §9). reduction_nanos is wall
+  // clock inside the reduction barriers (merge + ordered replay), so it
+  // is the one counter that legitimately varies between repeated runs;
+  // everything else is deterministic for a fixed thread count.
+  long parallel_passes = 0;  // passes scanned with the sharded path
+  long reduction_nanos = 0;  // wall clock spent in reduction barriers
+  // score_evals split by column shard; empty when every pass ran serial.
+  std::vector<long> shard_score_evals;
+
   PerfCounters& operator+=(const PerfCounters& o) {
     score_evals += o.score_evals;
     probes_issued += o.probes_issued;
@@ -38,6 +50,12 @@ struct PerfCounters {
     estimate_cache_misses += o.estimate_cache_misses;
     avail_cache_hits += o.avail_cache_hits;
     avail_recomputes += o.avail_recomputes;
+    parallel_passes += o.parallel_passes;
+    reduction_nanos += o.reduction_nanos;
+    if (shard_score_evals.size() < o.shard_score_evals.size())
+      shard_score_evals.resize(o.shard_score_evals.size(), 0);
+    for (std::size_t i = 0; i < o.shard_score_evals.size(); ++i)
+      shard_score_evals[i] += o.shard_score_evals[i];
     return *this;
   }
 };

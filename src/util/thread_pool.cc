@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <stdexcept>
+
+namespace tetris::util {
+
+namespace {
+// Depth of parallel_for frames on the current thread, counting both
+// worker drains and inline nested runs. A nested submit must not block on
+// pool workers (they may all be busy inside the outer batch), so it runs
+// inline whenever this is non-zero.
+thread_local int tls_parallel_depth = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1)
+    throw std::invalid_argument("ThreadPool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Batch& b) {
+  tls_parallel_depth++;
+  while (true) {
+    const int i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.n) break;
+    try {
+      (*b.fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!b.error || i < b.error_index) {
+        b.error = std::current_exception();
+        b.error_index = i;
+      }
+    }
+  }
+  tls_parallel_depth--;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+    if (stop_) return;
+    seen = epoch_;
+    Batch* b = batch_;
+    // batch_ is nullptr when the caller already finished and retired the
+    // batch before this worker woke up — nothing left to join.
+    if (b == nullptr) continue;
+    b->in_flight++;
+    lock.unlock();
+    drain(*b);
+    lock.lock();
+    b->in_flight--;
+    if (b->in_flight == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (tls_parallel_depth > 0) {
+    // Nested submit: run inline. An exception propagates from the first
+    // (and therefore lowest) failing index.
+    tls_parallel_depth++;
+    try {
+      for (int i = 0; i < n; ++i) fn(i);
+    } catch (...) {
+      tls_parallel_depth--;
+      throw;
+    }
+    tls_parallel_depth--;
+    return;
+  }
+  Batch b;
+  b.fn = &fn;
+  b.n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &b;
+    epoch_++;
+  }
+  work_cv_.notify_all();
+  drain(b);
+  // The caller only leaves drain() once every index is claimed; wait for
+  // workers still finishing theirs, then retire the batch so late wakers
+  // cannot touch the dead stack frame.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return b.in_flight == 0; });
+    batch_ = nullptr;
+  }
+  if (b.error) std::rethrow_exception(b.error);
+}
+
+}  // namespace tetris::util

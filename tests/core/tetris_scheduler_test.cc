@@ -86,6 +86,9 @@ TEST(TetrisConfig, RejectsOutOfRangeKnobs) {
   bad = TetrisConfig{};
   bad.srtf_weight = -1;
   EXPECT_THROW(TetrisScheduler{bad}, std::invalid_argument);
+  bad = TetrisConfig{};
+  bad.num_threads = -2;
+  EXPECT_THROW(TetrisScheduler{bad}, std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------

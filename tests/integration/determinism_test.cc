@@ -1,0 +1,206 @@
+// Determinism of the sharded scheduling pass (DESIGN.md §9): the thread
+// pool introduces real concurrency, but none of it may show through. Two
+// properties pin that down:
+//
+//  1. Repeatability — the same seed and config at 8 threads yields an
+//     identical SimResult on every run: every record, every counter. The
+//     only exceptions are wall-clock fields (scheduler latency, pass
+//     seconds, reduction nanos), which measure the machine, not the
+//     schedule.
+//  2. Thread-count independence — the analysis CSVs derived from the
+//     schedule (jobs, tasks, timeline, churn) are byte-identical across
+//     serial, 2-, 4- and 8-thread runs. Perf-counter and pass-sample CSVs
+//     are excluded: they report latency and probe-cache traffic, which
+//     legitimately depend on the execution, not the schedule.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/export.h"
+#include "core/tetris_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/facebook.h"
+#include "workload/profiles.h"
+#include "workload/suite.h"
+
+namespace tetris {
+namespace {
+
+sim::Workload make_load(bool facebook, std::uint64_t seed) {
+  if (facebook) {
+    workload::FacebookConfig cfg;
+    cfg.num_jobs = 30;
+    cfg.num_machines = 10;
+    cfg.task_scale = 0.3;
+    cfg.arrival_window = 250;
+    cfg.seed = seed;
+    return workload::make_facebook_workload(cfg);
+  }
+  workload::SuiteConfig cfg;
+  cfg.num_jobs = 24;
+  cfg.num_machines = 10;
+  cfg.task_scale = 0.04;
+  cfg.arrival_window = 250;
+  cfg.seed = seed;
+  return workload::make_suite_workload(cfg);
+}
+
+sim::SimConfig base_config(bool churn) {
+  sim::SimConfig cfg;
+  cfg.num_machines = 10;
+  cfg.machine_capacity = workload::facebook_machine();
+  cfg.tracker = sim::TrackerMode::kUsage;
+  cfg.collect_timeline = true;
+  cfg.collect_pass_samples = true;
+  if (churn) {
+    cfg.churn.scripted = {{2, 20.0, 80.0}, {7, 50.0, 140.0}, {2, 200.0, 260.0}};
+  }
+  return cfg;
+}
+
+sim::SimResult run(const sim::SimConfig& cfg, const sim::Workload& w,
+                   int threads) {
+  core::TetrisConfig tcfg;
+  tcfg.num_threads = threads;
+  core::TetrisScheduler sched(tcfg);
+  return sim::simulate(cfg, w, sched);
+}
+
+// Full SimResult comparison, excluding only wall-clock measurements. At a
+// FIXED thread count every counter is deterministic — each shard's
+// decisions depend only on shard-local state — so the perf counters are
+// compared exactly, probe-cache traffic included.
+void expect_repeat_identical(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.scheduler_name, b.scheduler_name);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.makespan, b.makespan);
+
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].id, b.jobs[i].id) << "job " << i;
+    EXPECT_EQ(a.jobs[i].name, b.jobs[i].name) << "job " << i;
+    EXPECT_EQ(a.jobs[i].arrival, b.jobs[i].arrival) << "job " << i;
+    EXPECT_EQ(a.jobs[i].finish, b.jobs[i].finish) << "job " << i;
+    EXPECT_EQ(a.jobs[i].total_tasks, b.jobs[i].total_tasks) << "job " << i;
+  }
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].job, b.tasks[i].job) << "task " << i;
+    EXPECT_EQ(a.tasks[i].stage, b.tasks[i].stage) << "task " << i;
+    EXPECT_EQ(a.tasks[i].index, b.tasks[i].index) << "task " << i;
+    EXPECT_EQ(a.tasks[i].host, b.tasks[i].host) << "task " << i;
+    EXPECT_EQ(a.tasks[i].start, b.tasks[i].start) << "task " << i;
+    EXPECT_EQ(a.tasks[i].finish, b.tasks[i].finish) << "task " << i;
+    EXPECT_EQ(a.tasks[i].attempts, b.tasks[i].attempts) << "task " << i;
+    EXPECT_EQ(a.tasks[i].local_fraction, b.tasks[i].local_fraction)
+        << "task " << i;
+  }
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].time, b.timeline[i].time) << "sample " << i;
+    EXPECT_EQ(a.timeline[i].running_tasks, b.timeline[i].running_tasks)
+        << "sample " << i;
+    EXPECT_EQ(a.timeline[i].utilization, b.timeline[i].utilization)
+        << "sample " << i;
+  }
+  for (std::size_t r = 0; r < kNumResources; ++r)
+    EXPECT_EQ(a.machine_usage_samples[r], b.machine_usage_samples[r])
+        << "resource " << r;
+
+  // Scheduler cost: counts are schedule-derived, seconds are wall clock.
+  EXPECT_EQ(a.scheduler_cost.invocations, b.scheduler_cost.invocations);
+  EXPECT_EQ(a.scheduler_cost.placements, b.scheduler_cost.placements);
+  ASSERT_EQ(a.pass_samples.size(), b.pass_samples.size());
+  for (std::size_t i = 0; i < a.pass_samples.size(); ++i) {
+    EXPECT_EQ(a.pass_samples[i].time, b.pass_samples[i].time) << "pass " << i;
+    EXPECT_EQ(a.pass_samples[i].backlog, b.pass_samples[i].backlog)
+        << "pass " << i;
+    EXPECT_EQ(a.pass_samples[i].placements, b.pass_samples[i].placements)
+        << "pass " << i;
+  }
+
+  EXPECT_EQ(a.perf.score_evals, b.perf.score_evals);
+  EXPECT_EQ(a.perf.probes_issued, b.perf.probes_issued);
+  EXPECT_EQ(a.perf.probe_reuses, b.perf.probe_reuses);
+  EXPECT_EQ(a.perf.sticky_rejects, b.perf.sticky_rejects);
+  EXPECT_EQ(a.perf.fit_index_skips, b.perf.fit_index_skips);
+  EXPECT_EQ(a.perf.row_skips, b.perf.row_skips);
+  EXPECT_EQ(a.perf.probe_cache_hits, b.perf.probe_cache_hits);
+  EXPECT_EQ(a.perf.probe_cache_misses, b.perf.probe_cache_misses);
+  EXPECT_EQ(a.perf.estimate_cache_hits, b.perf.estimate_cache_hits);
+  EXPECT_EQ(a.perf.estimate_cache_misses, b.perf.estimate_cache_misses);
+  EXPECT_EQ(a.perf.avail_cache_hits, b.perf.avail_cache_hits);
+  EXPECT_EQ(a.perf.avail_recomputes, b.perf.avail_recomputes);
+  EXPECT_EQ(a.perf.parallel_passes, b.perf.parallel_passes);
+  EXPECT_EQ(a.perf.shard_score_evals, b.perf.shard_score_evals);
+  // perf.reduction_nanos deliberately not compared: wall clock.
+
+  EXPECT_EQ(a.churn.machines_failed, b.churn.machines_failed);
+  EXPECT_EQ(a.churn.machines_recovered, b.churn.machines_recovered);
+  EXPECT_EQ(a.churn.task_attempts_lost, b.churn.task_attempts_lost);
+  EXPECT_EQ(a.churn.work_lost_seconds, b.churn.work_lost_seconds);
+  EXPECT_EQ(a.churn.read_failovers, b.churn.read_failovers);
+  EXPECT_EQ(a.churn.effective_capacity, b.churn.effective_capacity);
+}
+
+TEST(DeterminismTest, RepeatedEightThreadRunsAreIdentical) {
+  const sim::Workload w = make_load(/*facebook=*/true, 1);
+  const sim::SimConfig cfg = base_config(/*churn=*/false);
+  const sim::SimResult first = run(cfg, w, 8);
+  ASSERT_TRUE(first.completed);
+  ASSERT_GT(first.perf.parallel_passes, 0);
+  for (int rep = 1; rep < 5; ++rep) {
+    SCOPED_TRACE("repeat " + std::to_string(rep));
+    expect_repeat_identical(first, run(cfg, w, 8));
+  }
+}
+
+TEST(DeterminismTest, RepeatedEightThreadChurnRunsAreIdentical) {
+  // Churn is the hardest case: drained rows merge at the reduction
+  // barrier, and shards independently re-probe dead candidates.
+  const sim::Workload w = make_load(/*facebook=*/false, 3);
+  const sim::SimConfig cfg = base_config(/*churn=*/true);
+  const sim::SimResult first = run(cfg, w, 8);
+  ASSERT_TRUE(first.completed);
+  ASSERT_GT(first.churn.machines_failed, 0);
+  for (int rep = 1; rep < 5; ++rep) {
+    SCOPED_TRACE("repeat " + std::to_string(rep));
+    expect_repeat_identical(first, run(cfg, w, 8));
+  }
+}
+
+TEST(DeterminismTest, ScheduleCsvsAreThreadCountIndependent) {
+  const sim::Workload w = make_load(/*facebook=*/true, 2);
+  const sim::SimConfig cfg = base_config(/*churn=*/true);
+  const sim::SimResult serial = run(cfg, w, 0);
+  ASSERT_TRUE(serial.completed);
+  const std::string jobs = analysis::jobs_csv(serial);
+  const std::string tasks = analysis::tasks_csv(serial);
+  const std::string timeline = analysis::timeline_csv(serial);
+  const std::string churn = analysis::churn_csv(serial);
+  for (int threads : {1, 2, 4, 8}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    const sim::SimResult r = run(cfg, w, threads);
+    EXPECT_EQ(analysis::jobs_csv(r), jobs);
+    EXPECT_EQ(analysis::tasks_csv(r), tasks);
+    EXPECT_EQ(analysis::timeline_csv(r), timeline);
+    EXPECT_EQ(analysis::churn_csv(r), churn);
+  }
+}
+
+TEST(DeterminismTest, MoreThreadsThanMachinesStillDeterministic) {
+  // num_threads above the machine count collapses to one column per
+  // shard; the reduction still has to respect the serial tie-break.
+  const sim::Workload w = make_load(/*facebook=*/false, 1);
+  const sim::SimConfig cfg = base_config(/*churn=*/false);
+  const sim::SimResult serial = run(cfg, w, 0);
+  const sim::SimResult wide = run(cfg, w, 32);
+  EXPECT_EQ(analysis::tasks_csv(wide), analysis::tasks_csv(serial));
+  EXPECT_EQ(analysis::jobs_csv(wide), analysis::jobs_csv(serial));
+}
+
+}  // namespace
+}  // namespace tetris

@@ -7,9 +7,14 @@
 // workloads, seeds, tracker modes, estimation models, churn, and every
 // Tetris extension knob. Doubles are compared with ==; any drift, however
 // small, is a bug in an invalidation rule.
+// PR 3 widens the matrix along a third axis: the sharded parallel pass
+// (DESIGN.md §9) at 2 and 8 threads must match the serial scan — and the
+// naive oracle — placement for placement, for every config.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "core/tetris_scheduler.h"
@@ -104,40 +109,112 @@ void expect_identical(const sim::SimResult& naive, const sim::SimResult& opt) {
   EXPECT_EQ(naive.churn.work_lost_seconds, opt.churn.work_lost_seconds);
 }
 
+// Divergence diagnostic: the matrix is large, so a bare EXPECT_EQ index is
+// slow to act on. Name the first task whose placement differs outright.
+std::string first_placement_divergence(const sim::SimResult& want,
+                                       const sim::SimResult& got) {
+  const std::size_t n = std::min(want.tasks.size(), got.tasks.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& a = want.tasks[i];
+    const auto& b = got.tasks[i];
+    if (a.job == b.job && a.stage == b.stage && a.index == b.index &&
+        a.host == b.host && a.start == b.start && a.finish == b.finish &&
+        a.attempts == b.attempts && a.local_fraction == b.local_fraction)
+      continue;
+    std::ostringstream os;
+    os << "first divergent placement: task[" << i << "] job=" << a.job
+       << " stage=" << a.stage << " index=" << a.index << " — want host="
+       << a.host << " start=" << a.start << " finish=" << a.finish
+       << " attempts=" << a.attempts << ", got host=" << b.host
+       << " start=" << b.start << " finish=" << b.finish
+       << " attempts=" << b.attempts;
+    return os.str();
+  }
+  if (want.tasks.size() != got.tasks.size()) {
+    std::ostringstream os;
+    os << "task record counts diverge: want " << want.tasks.size() << ", got "
+       << got.tasks.size();
+    return os.str();
+  }
+  return "placements identical";
+}
+
 class EquivalenceTest : public ::testing::TestWithParam<Case> {};
 
-TEST_P(EquivalenceTest, OptimizedPathIsBitIdenticalToNaive) {
+TEST_P(EquivalenceTest, AllPathsAndThreadCountsAreBitIdentical) {
   const Case c = GetParam();
   const sim::Workload w = make_load(c.load, c.seed);
 
-  sim::SimConfig naive_cfg = make_sim_config(c);
-  naive_cfg.naive_scheduler_view = true;
-  core::TetrisConfig naive_tcfg = c.tetris;
-  naive_tcfg.naive_scoring = true;
-  core::TetrisScheduler naive_sched(naive_tcfg);
-  const sim::SimResult naive = sim::simulate(naive_cfg, w, naive_sched);
+  const auto run = [&](bool naive, int threads) {
+    sim::SimConfig cfg = make_sim_config(c);
+    cfg.naive_scheduler_view = naive;
+    core::TetrisConfig tcfg = c.tetris;
+    tcfg.naive_scoring = naive;
+    tcfg.num_threads = threads;
+    core::TetrisScheduler sched(tcfg);
+    return sim::simulate(cfg, w, sched);
+  };
 
-  sim::SimConfig opt_cfg = make_sim_config(c);
-  ASSERT_FALSE(opt_cfg.naive_scheduler_view);  // optimized is the default
-  core::TetrisConfig opt_tcfg = c.tetris;
-  ASSERT_FALSE(opt_tcfg.naive_scoring);
-  core::TetrisScheduler opt_sched(opt_tcfg);
-  const sim::SimResult opt = sim::simulate(opt_cfg, w, opt_sched);
+  // The serial naive run is the oracle every other variant is held to.
+  const sim::SimResult oracle = run(/*naive=*/true, /*threads=*/0);
 
-  expect_identical(naive, opt);
+  struct Variant {
+    const char* name;
+    bool naive;
+    int threads;
+  };
+  const Variant variants[] = {
+      {"naive-2threads", true, 2}, {"naive-8threads", true, 8},
+      {"opt-serial", false, 0},    {"opt-2threads", false, 2},
+      {"opt-8threads", false, 8},
+  };
+  for (const auto& v : variants) {
+    SCOPED_TRACE(v.name);
+    const sim::SimResult r = run(v.naive, v.threads);
+    SCOPED_TRACE(first_placement_divergence(oracle, r));
+    expect_identical(oracle, r);
 
-  // The naive oracle must really be naive and the optimized path must
-  // really be optimized, or the comparison proves nothing.
-  EXPECT_EQ(naive.perf.probe_cache_hits, 0);
-  EXPECT_EQ(naive.perf.estimate_cache_hits, 0);
-  EXPECT_EQ(naive.perf.avail_cache_hits, 0);
-  EXPECT_EQ(naive.perf.sticky_rejects, 0);
-  EXPECT_EQ(naive.perf.probe_reuses, 0);
-  EXPECT_EQ(naive.perf.fit_index_skips, 0);
-  EXPECT_GT(opt.perf.avail_cache_hits, 0);
-  EXPECT_GT(opt.perf.probe_cache_hits + opt.perf.probe_reuses +
-                opt.perf.sticky_rejects,
-            0);
+    if (v.naive) {
+      // The naive oracle must really be naive (at any thread count), or
+      // the comparison proves nothing.
+      EXPECT_EQ(r.perf.probe_cache_hits, 0);
+      EXPECT_EQ(r.perf.estimate_cache_hits, 0);
+      EXPECT_EQ(r.perf.avail_cache_hits, 0);
+      EXPECT_EQ(r.perf.sticky_rejects, 0);
+      EXPECT_EQ(r.perf.probe_reuses, 0);
+      EXPECT_EQ(r.perf.fit_index_skips, 0);
+    } else {
+      // ... and the optimized path must really be optimized.
+      EXPECT_GT(r.perf.avail_cache_hits, 0);
+      EXPECT_GT(r.perf.probe_cache_hits + r.perf.probe_reuses +
+                    r.perf.sticky_rejects,
+                0);
+    }
+    if (v.threads > 0) {
+      // The sharded path must actually have run, and its per-shard
+      // score_evals split must account for every evaluation.
+      EXPECT_GT(r.perf.parallel_passes, 0);
+      ASSERT_FALSE(r.perf.shard_score_evals.empty());
+      long shard_sum = 0;
+      for (long e : r.perf.shard_score_evals) shard_sum += e;
+      EXPECT_EQ(shard_sum, r.perf.score_evals);
+    } else {
+      EXPECT_EQ(r.perf.parallel_passes, 0);
+      EXPECT_TRUE(r.perf.shard_score_evals.empty());
+    }
+    // Scan-shape counters are thread-count invariant (DESIGN.md §9: only
+    // probes_issued and the probe-cache hit/miss split may shift, and
+    // only under churn, when shards independently re-probe a drained
+    // row). The oracle recomputes everything, so compare within a mode.
+    if (!v.naive && v.threads > 0) {
+      const sim::SimResult serial = run(false, 0);
+      EXPECT_EQ(r.perf.score_evals, serial.perf.score_evals);
+      EXPECT_EQ(r.perf.sticky_rejects, serial.perf.sticky_rejects);
+      EXPECT_EQ(r.perf.probe_reuses, serial.perf.probe_reuses);
+      EXPECT_EQ(r.perf.fit_index_skips, serial.perf.fit_index_skips);
+      EXPECT_EQ(r.perf.row_skips, serial.perf.row_skips);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
