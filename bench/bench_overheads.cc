@@ -13,7 +13,10 @@
 //   jobs/machines size the heavy backlog run (default 230 jobs x 30
 //   machines ~ 10K pending tasks at t=0). Per-pass samples land in
 //   bench_results/table8_overheads.csv, counter totals in
-//   bench_results/table8_perf_counters.csv.
+//   bench_results/table8_perf_counters.csv, the thread sweep in
+//   bench_results/table8_threads.csv and the trace on/off sweep in
+//   bench_results/table8_trace_overhead.csv. All rows are prefixed with
+//   scheduler,threads,trace so they are self-describing.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -174,10 +177,10 @@ void print_pass_latency_table(const bench::Scale& heavy_scale,
                  format_double(heavy_ms, 3) + " (" +
                      std::to_string(heavy_n) + "p)",
                  std::to_string(c.placements)});
-      const std::string label =
-          r->scheduler_name + "-" + std::to_string(scale.jobs) + "j";
-      *samples_csv += analysis::pass_samples_csv(label, *r, first);
-      *counters_csv += analysis::perf_counters_csv(label, *r, first);
+      const analysis::RunTag tag = bench::run_tag(
+          r->scheduler_name + "-" + std::to_string(scale.jobs) + "j", cfg);
+      *samples_csv += analysis::pass_samples_csv(tag, *r, first);
+      *counters_csv += analysis::perf_counters_csv(tag, *r, first);
       first = false;
     }
 
@@ -217,8 +220,9 @@ void print_thread_scaling_table(const bench::Scale& heavy_scale,
            "mean @ heavy backlog (ms)", "max pass (ms)",
            "reduction total (ms)", "makespan (s)"});
   *threads_csv =
-      "threads,backlog_tasks,passes,mean_pass_ms,heavy_mean_pass_ms,"
-      "max_pass_ms,parallel_passes,reduction_total_ms,makespan\n";
+      "scheduler,threads,trace,backlog_tasks,passes,mean_pass_ms,"
+      "heavy_mean_pass_ms,max_pass_ms,parallel_passes,reduction_total_ms,"
+      "makespan\n";
 
   const sim::Workload w =
       bench::facebook_workload(heavy_scale, /*arrival_window=*/0);
@@ -261,7 +265,7 @@ void print_thread_scaling_table(const bench::Scale& heavy_scale,
                format_double(c.max_seconds * 1e3, 3),
                format_double(reduction_ms, 3),
                format_double(best.makespan, 1)});
-    *threads_csv += std::to_string(threads) + "," +
+    *threads_csv += "tetris-opt," + std::to_string(threads) + ",0," +
                     std::to_string(w.total_tasks()) + "," +
                     std::to_string(c.invocations) + "," +
                     format_double(c.mean_seconds() * 1e3, 4) + "," +
@@ -270,6 +274,92 @@ void print_thread_scaling_table(const bench::Scale& heavy_scale,
                     std::to_string(best.perf.parallel_passes) + "," +
                     format_double(reduction_ms, 4) + "," +
                     format_double(best.makespan, 3) + "\n";
+  }
+  std::cout << t.to_string();
+}
+
+// Trace-overhead sweep (DESIGN.md §10): the optimized pass with event
+// tracing off vs on, serial and 8-thread, heavy scale. Tracing must not
+// change decisions (spot-checked on makespan; the replay tests enforce
+// event-level equality), so the only number that may move is pass
+// latency — the acceptance bar is <2% on the heavy-backlog mean.
+void print_trace_overhead_table(const bench::Scale& heavy_scale,
+                                std::string* trace_csv) {
+  std::cout << "\nTrace overhead — optimized pass with the event recorder "
+               "off vs on (DESIGN.md §10). Identical schedules; the delta "
+               "is the cost of recording placements, passes and task "
+               "lifecycle events.\n";
+  Table t({"threads", "trace", "passes", "mean pass (ms)",
+           "mean @ heavy backlog (ms)", "max pass (ms)", "events",
+           "overhead @ heavy (%)"});
+  *trace_csv =
+      "scheduler,threads,trace,backlog_tasks,passes,mean_pass_ms,"
+      "heavy_mean_pass_ms,max_pass_ms,events,dropped,heavy_overhead_pct,"
+      "makespan\n";
+
+  const sim::Workload w =
+      bench::facebook_workload(heavy_scale, /*arrival_window=*/0);
+  const int cut =
+      static_cast<int>(0.5 * static_cast<double>(w.total_tasks()));
+
+  constexpr int kReps = 3;
+  for (const int threads : {0, 8}) {
+    double off_heavy_ms = 0;
+    double off_makespan = -1;
+    for (const bool traced : {false, true}) {
+      sim::SimConfig cfg = bench::facebook_cluster(heavy_scale);
+      cfg.collect_pass_samples = true;
+      cfg.trace.enabled = traced;
+      // Large enough that nothing is dropped mid-run: the comparison
+      // should price recording, not ring-buffer recycling.
+      cfg.trace.max_chunks_per_thread = 4096;
+
+      sim::SimResult best;
+      for (int rep = 0; rep < kReps; ++rep) {
+        core::TetrisConfig tcfg;
+        tcfg.name = "tetris-opt";
+        tcfg.num_threads = threads;
+        sim::SimResult r = bench::run_tetris(cfg, w, tcfg);
+        if (rep == 0 || r.scheduler_cost.mean_seconds() <
+                            best.scheduler_cost.mean_seconds()) {
+          best = std::move(r);
+        }
+      }
+      bench::warn_if_incomplete(best);
+      if (!traced) {
+        off_makespan = best.makespan;
+      } else if (best.makespan != off_makespan) {
+        std::cerr << "ERROR: traced run diverged from untraced (makespan "
+                  << best.makespan << " vs " << off_makespan << ")\n";
+      }
+      const auto& c = best.scheduler_cost;
+      const auto [heavy_ms, heavy_n] = heavy_mean_ms(best, cut);
+      if (!traced) off_heavy_ms = heavy_ms;
+      const double overhead_pct =
+          traced && off_heavy_ms > 0
+              ? (heavy_ms - off_heavy_ms) / off_heavy_ms * 100.0
+              : 0.0;
+      const std::size_t events = best.trace_log.events.size();
+      t.add_row({threads == 0 ? "serial" : std::to_string(threads),
+                 traced ? "on" : "off", std::to_string(c.invocations),
+                 format_double(c.mean_seconds() * 1e3, 3),
+                 format_double(heavy_ms, 3) + " (" +
+                     std::to_string(heavy_n) + "p)",
+                 format_double(c.max_seconds * 1e3, 3),
+                 std::to_string(events),
+                 traced ? format_double(overhead_pct, 2) : "-"});
+      *trace_csv += "tetris-opt," + std::to_string(threads) + "," +
+                    (traced ? "1," : "0,") +
+                    std::to_string(w.total_tasks()) + "," +
+                    std::to_string(c.invocations) + "," +
+                    format_double(c.mean_seconds() * 1e3, 4) + "," +
+                    format_double(heavy_ms, 4) + "," +
+                    format_double(c.max_seconds * 1e3, 4) + "," +
+                    std::to_string(events) + "," +
+                    std::to_string(best.trace_log.dropped) + "," +
+                    format_double(overhead_pct, 3) + "," +
+                    format_double(best.makespan, 3) + "\n";
+    }
   }
   std::cout << t.to_string();
 }
@@ -295,5 +385,9 @@ int main(int argc, char** argv) {
   std::string threads_csv;
   print_thread_scaling_table(scale, &threads_csv);
   write_file("bench_results/table8_threads.csv", threads_csv);
+
+  std::string trace_csv;
+  print_trace_overhead_table(scale, &trace_csv);
+  write_file("bench_results/table8_trace_overhead.csv", trace_csv);
   return 0;
 }

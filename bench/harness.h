@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/export.h"
 #include "analysis/metrics.h"
 #include "core/tetris_scheduler.h"
 #include "sched/drf_scheduler.h"
@@ -134,6 +135,18 @@ inline std::string cdf_csv(const std::vector<double>& xs) {
            "\n";
   }
   return out;
+}
+
+// The self-describing row tag for the bench_results CSVs: which scheduler
+// variant, how many worker threads (resolved the same way run_tetris
+// resolves the knob) and whether event tracing was on for the run.
+inline analysis::RunTag run_tag(const std::string& scheduler,
+                                const sim::SimConfig& cfg, int threads = 0) {
+  analysis::RunTag tag;
+  tag.scheduler = scheduler;
+  tag.threads = threads > 0 ? threads : cfg.num_threads;
+  tag.trace = cfg.trace.enabled;
+  return tag;
 }
 
 inline void warn_if_incomplete(const sim::SimResult& r) {

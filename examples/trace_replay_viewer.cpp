@@ -1,0 +1,86 @@
+// The full tracing pipeline on the paper's §2.1 motivating workload
+// (DESIGN.md §10): record a traced run, export it for humans (Chrome
+// trace_event JSON for ui.perfetto.dev, flat CSV for pandas), replay it
+// from the recorded seed and assert event-for-event equality, then show
+// what a real divergence looks like by diffing against a different seed.
+//
+// Writes motivating.trace / motivating_trace.json / motivating_trace.csv
+// into the working directory.
+#include <iostream>
+#include <string>
+
+#include "analysis/trace_export.h"
+#include "core/tetris_scheduler.h"
+#include "sim/simulator.h"
+#include "trace/io.h"
+#include "trace/replayer.h"
+#include "util/table.h"
+#include "workload/motivating.h"
+
+using namespace tetris;
+
+namespace {
+
+// One traced Tetris run of the motivating workload. Everything the run
+// depends on (workload, cluster, seed) is rebuilt from scratch each call,
+// which is exactly what the replay contract requires of a rerun.
+trace::TraceLog traced_run(std::uint64_t seed) {
+  auto ex = workload::make_motivating_example();
+  ex.config.seed = seed;
+  ex.config.trace.enabled = true;
+  core::TetrisScheduler tetris;
+  return sim::simulate(ex.config, ex.workload, tetris).trace_log;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Tracing & replay on the motivating workload (paper §2.1)\n\n";
+
+  // 1. Record.
+  const std::uint64_t seed = 1;
+  const trace::TraceLog log = traced_run(seed);
+  std::cout << "recorded " << log.events.size() << " events (scheduler '"
+            << log.scheduler << "', seed " << log.seed << ", dropped "
+            << log.dropped << ")\n";
+
+  // 2. Export: binary log, Perfetto-loadable JSON, flat CSV.
+  trace::write_log_file("motivating.trace", log);
+  analysis::write_chrome_trace("motivating_trace.json", log);
+  analysis::write_trace_csv("motivating_trace.csv", log);
+  std::cout << "wrote motivating.trace, motivating_trace.json (open at "
+               "ui.perfetto.dev), motivating_trace.csv\n\n";
+
+  // A taste of what's inside: the first few placement decisions with
+  // their packing scores.
+  Table t({"time", "event"});
+  int shown = 0;
+  for (const trace::Event& ev : log.events) {
+    if (ev.kind != trace::EventKind::kPlacement) continue;
+    t.add_row({format_double(ev.time, 2), trace::describe(ev)});
+    if (++shown == 5) break;
+  }
+  std::cout << "first placements:\n" << t.to_string() << "\n";
+
+  // 3. Replay: reload the file and re-execute from the recorded seed.
+  const trace::TraceLog reloaded = trace::read_log_file("motivating.trace");
+  trace::Replayer replayer(reloaded);
+  const trace::ReplayReport report =
+      replayer.replay([&] { return traced_run(reloaded.seed); });
+  std::cout << "replay: " << report.message << "\n";
+  if (!report.ok) return 1;
+
+  // 4. Diff against a run that really is different (another seed) to show
+  // where the streams split. (Same comparison trace_diff does from files.)
+  const trace::TraceLog other = traced_run(seed + 1);
+  const trace::Divergence d = trace::first_divergence(reloaded, other);
+  if (d.identical) {
+    std::cout << "diff vs seed " << seed + 1
+              << ": identical (this workload is placement-stable across "
+                 "these seeds)\n";
+  } else {
+    std::cout << "diff vs seed " << seed + 1 << ": first divergence at event "
+              << d.index << "\n" << d.description << "\n";
+  }
+  return 0;
+}

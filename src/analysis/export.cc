@@ -69,28 +69,41 @@ std::string churn_csv(const sim::SimResult& result) {
   return os.str();
 }
 
-std::string pass_samples_csv(const std::string& label,
+namespace {
+
+// The self-describing row prefix shared by the bench_results tables;
+// keep in sync with the "scheduler,threads,trace" header columns.
+std::string tag_prefix(const RunTag& tag) {
+  return escape(tag.scheduler) + "," + std::to_string(tag.threads) + "," +
+         (tag.trace ? "1" : "0");
+}
+
+}  // namespace
+
+std::string pass_samples_csv(const RunTag& tag,
                              const sim::SimResult& result, bool with_header) {
   std::ostringstream os;
-  if (with_header) os << "mode,time,backlog,placements,pass_seconds\n";
+  if (with_header)
+    os << "scheduler,threads,trace,time,backlog,placements,pass_seconds\n";
   for (const auto& s : result.pass_samples) {
-    os << escape(label) << "," << s.time << "," << s.backlog << ","
+    os << tag_prefix(tag) << "," << s.time << "," << s.backlog << ","
        << s.placements << "," << s.seconds << "\n";
   }
   return os.str();
 }
 
-std::string perf_counters_csv(const std::string& label,
+std::string perf_counters_csv(const RunTag& tag,
                               const sim::SimResult& result, bool with_header) {
   std::ostringstream os;
   if (with_header) {
-    os << "mode,score_evals,probes_issued,probe_reuses,sticky_rejects,"
+    os << "scheduler,threads,trace,"
+          "score_evals,probes_issued,probe_reuses,sticky_rejects,"
           "fit_index_skips,row_skips,probe_cache_hits,probe_cache_misses,"
           "estimate_cache_hits,estimate_cache_misses,avail_cache_hits,"
           "avail_recomputes,parallel_passes,reduction_seconds,shard_evals\n";
   }
   const auto& p = result.perf;
-  os << escape(label) << "," << p.score_evals << "," << p.probes_issued << ","
+  os << tag_prefix(tag) << "," << p.score_evals << "," << p.probes_issued << ","
      << p.probe_reuses << "," << p.sticky_rejects << "," << p.fit_index_skips
      << "," << p.row_skips << "," << p.probe_cache_hits << ","
      << p.probe_cache_misses << ","

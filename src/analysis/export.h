@@ -24,11 +24,20 @@ std::string timeline_csv(const sim::SimResult& result);
 // work lost, time-weighted effective capacity.
 std::string churn_csv(const sim::SimResult& result);
 
+// Identifies the configuration a CSV row came from, so the bench_results
+// tables are self-describing: which scheduler variant produced it, at how
+// many worker threads (0 = serial), and whether event tracing was on.
+struct RunTag {
+  std::string scheduler;
+  int threads = 0;
+  bool trace = false;
+};
+
 // One row per scheduling pass (needs SimConfig::collect_pass_samples):
-// time, backlog, placements, latency in seconds. The raw material of
-// Table 8's latency-vs-backlog curves; rows carry a caller-supplied label
-// (e.g. "naive" / "optimized") so runs can share one file.
-std::string pass_samples_csv(const std::string& label,
+// scheduler, threads, trace, time, backlog, placements, latency in
+// seconds. The raw material of Table 8's latency-vs-backlog curves; rows
+// carry the full RunTag so runs can share one file.
+std::string pass_samples_csv(const RunTag& tag,
                              const sim::SimResult& result,
                              bool with_header = true);
 
@@ -38,7 +47,7 @@ std::string pass_samples_csv(const std::string& label,
 // columns (DESIGN.md §9) report sharded passes, wall-clock reduction
 // seconds, and a ';'-joined per-shard score_evals split (empty when
 // every pass ran serial).
-std::string perf_counters_csv(const std::string& label,
+std::string perf_counters_csv(const RunTag& tag,
                               const sim::SimResult& result,
                               bool with_header = true);
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "sched/common.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
 
 namespace tetris::core {
 
@@ -51,6 +53,10 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       if (auto* sink = ctx.perf_counters()) *sink += pass;
     }
   } counter_flush{ctx, pc, perf_};
+
+  // Event-trace sink (DESIGN.md §10); null when tracing is off. Like the
+  // perf counters, strictly write-only: decisions never branch on it.
+  trace::Recorder* tracer = ctx.tracer();
 
   auto jobs = ctx.active_jobs();
   auto groups = ctx.runnable_groups();
@@ -408,6 +414,9 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     std::size_t best_g = 0;
     int best_m = -1;
     std::size_t first_candidate_row = 0;
+    // Accumulated worker wall-clock over the pass, for kShardTiming
+    // records; only measured while tracing (the clock reads cost).
+    long long scan_nanos = 0;
   };
   std::vector<ShardState> shards(static_cast<std::size_t>(num_shards));
   if (parallel) {
@@ -554,6 +563,8 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
 
         pool_->parallel_for(num_shards, [&](int s) {
           ShardState& st = shards[static_cast<std::size_t>(s)];
+          const auto shard_start =
+              tracer ? Clock::now() : Clock::time_point{};
           st.has_best = false;
           st.best_m = -1;
           st.first_candidate_row = num_groups;
@@ -596,6 +607,12 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
                 st.best_m = m;
               }
             }
+          }
+          if (tracer) {
+            st.scan_nanos +=
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now() - shard_start)
+                    .count();
           }
         });
 
@@ -685,6 +702,22 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     stats_.placements++;
     if (best_tier == 1) stats_.priority_placements++;
     if (best_tier == 2) stats_.starved_placements++;
+    if (tracer) {
+      // Recorded before the fairness cut refreshes below: `f` is the
+      // eligible-job count this decision was made under. score = x - y.
+      trace::Event ev;
+      ev.kind = trace::EventKind::kPlacement;
+      ev.time = ctx.now();
+      ev.a = placed.group.job;
+      ev.b = placed.group.stage;
+      ev.c = placed.task_index;
+      ev.d = placed.machine;
+      ev.e = best_tier;
+      ev.f = static_cast<std::int64_t>(eligible.size());
+      ev.x = best->alignment;
+      ev.y = best->alignment - best_score;  // eps * p_hat SRTF penalty
+      tracer->record(ev);
+    }
     last_placement_[group_key(placed.group)] = ctx.now();
     const auto ji = job_index.at(placed.group.job);
     extra[ji] += placed.demand;
@@ -714,6 +747,24 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       }
     }
     if (!naive) recompute_fit_index();
+  }
+
+  // Shard timings are measured inside the workers but emitted here, on
+  // the scheduling thread in shard order, so the trace stream's order
+  // never depends on worker interleaving (the wall-clock values live in
+  // the non-semantic `timing` field).
+  if (tracer != nullptr && parallel) {
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      trace::Event ev;
+      ev.kind = trace::EventKind::kShardTiming;
+      ev.time = ctx.now();
+      ev.a = static_cast<std::int64_t>(s);
+      ev.b = shards[s].m_lo;
+      ev.c = shards[s].m_hi;
+      ev.d = pc.shard_score_evals[s];
+      ev.timing = shards[s].scan_nanos;
+      tracer->record(ev);
+    }
   }
 
   // Fairness preemption (extension): the main loop exhausted every

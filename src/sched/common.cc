@@ -1,5 +1,8 @@
 #include "sched/common.h"
 
+#include "trace/event.h"
+#include "trace/recorder.h"
+
 namespace tetris::sched {
 
 bool fits_cpu_mem(const Resources& demand, const Resources& avail) {
@@ -30,15 +33,28 @@ std::optional<sim::Probe> best_machine_for_group(
     const std::function<bool(const sim::Probe&)>& fits,
     const MachinePrefilter& prefilter) {
   std::optional<sim::Probe> best;
+  int scanned = 0;
   for (int m = 0; m < ctx.num_machines(); ++m) {
     if (!ctx.machine_up(m)) continue;  // failed and not yet recovered
     if (prefilter && !prefilter(ctx.available(m))) continue;
+    scanned++;
     sim::Probe p = ctx.probe(group.ref, m);
     if (!p.valid || !fits(p)) continue;
     if (!best || p.local_fraction > best->local_fraction) {
       best = std::move(p);
       if (best->local_fraction >= 1.0) break;
     }
+  }
+  if (auto* tracer = ctx.tracer()) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kGroupScan;
+    ev.time = ctx.now();
+    ev.a = group.ref.job;
+    ev.b = group.ref.stage;
+    ev.c = best ? best->machine : -1;
+    ev.d = scanned;
+    ev.x = best ? best->local_fraction : 0.0;
+    tracer->record(ev);
   }
   return best;
 }

@@ -8,6 +8,7 @@
 
 #include "sim/interference.h"
 #include "sim/spec.h"
+#include "trace/recorder.h"
 #include "util/resources.h"
 #include "util/units.h"
 
@@ -135,6 +136,12 @@ struct SimConfig {
   // forwarded into TetrisConfig::num_threads by the bench harness when
   // the scheduler config leaves its own knob at 0. 0 = serial scan.
   int num_threads = 0;
+
+  // Structured event tracing (DESIGN.md §10): when trace.enabled, the
+  // simulator records every arrival, pass, placement, task transition,
+  // churn edge and tracker report into SimResult::trace_log. Off by
+  // default — the disabled path is a single branch per hook.
+  trace::TraceConfig trace;
 
   bool collect_timeline = false;
   double timeline_period = 10.0;

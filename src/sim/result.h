@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/spec.h"
+#include "trace/event.h"
 #include "util/perf_counters.h"
 #include "util/resources.h"
 #include "util/units.h"
@@ -107,6 +108,9 @@ struct SimResult {
   // Hot-path cache/index effectiveness over the whole run (DESIGN.md §8).
   util::PerfCounters perf;
   ChurnStats churn;
+  // Full event stream of the run (DESIGN.md §10); empty unless
+  // SimConfig::trace.enabled was set.
+  trace::TraceLog trace_log;
 
   double avg_jct() const;
   double median_jct() const;

@@ -20,6 +20,10 @@
 #include "util/resources.h"
 #include "util/units.h"
 
+namespace tetris::trace {
+class Recorder;
+}  // namespace tetris::trace
+
 namespace tetris::sim {
 
 // Identifies a stage of a job ("task group"): tasks of a stage are
@@ -168,6 +172,11 @@ class SchedulerContext {
   // null (contexts that do not collect). Strictly write-only for
   // schedulers — decisions must never read it.
   virtual util::PerfCounters* perf_counters() { return nullptr; }
+
+  // Event-trace sink (DESIGN.md §10): schedulers record placement
+  // decisions and shard timings here. Null when tracing is disabled.
+  // Write-only for schedulers, like perf_counters().
+  virtual trace::Recorder* tracer() { return nullptr; }
 };
 
 class Scheduler {

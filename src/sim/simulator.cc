@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <stdexcept>
@@ -14,6 +15,8 @@
 
 #include "sim/job_state.h"
 #include "sim/machine.h"
+#include "trace/event.h"
+#include "trace/recorder.h"
 #include "util/perf_counters.h"
 #include "util/rng.h"
 
@@ -132,7 +135,8 @@ class Simulator {
     return const_cast<Simulator*>(this)->task_at(uid);
   }
   void start_task(const Probe& probe);
-  void complete_task(int uid, bool failed);
+  void complete_task(int uid, bool failed,
+                     trace::KillReason reason = trace::KillReason::kFault);
   void materialize_stage(JobState& job, int stage_index);
   void make_stage_runnable(JobState& job, int stage_index);
   void add_runnable(StageState& stage, int task_index);
@@ -258,6 +262,13 @@ class Simulator {
   int completed_jobs_ = 0;
   std::vector<TaskReport> reports_;
 
+  // Event tracing (DESIGN.md §10); null unless SimConfig::trace.enabled.
+  // All simulator-side records happen on the event-loop thread, so the
+  // stream order is deterministic; worker threads only contribute the
+  // shard-timing records the scheduler emits serially at its barrier.
+  std::unique_ptr<trace::Recorder> tracer_;
+  long pass_index_ = 0;
+
   SimResult result_;
 };
 
@@ -322,6 +333,7 @@ class Simulator::ContextImpl final : public SchedulerContext {
     return std::exchange(sim_.reports_, {});
   }
   util::PerfCounters* perf_counters() override { return &sim_.perf_; }
+  trace::Recorder* tracer() override { return sim_.tracer_.get(); }
 
   long placements = 0;
 
@@ -662,7 +674,7 @@ bool Simulator::ContextImpl::preempt(int task_uid) {
   // so this pass's availability view regains what the kill frees.
   const auto book = sim_.books_[static_cast<std::size_t>(task_uid)];
   const MachineId host = task.host;
-  sim_.complete_task(task_uid, /*failed=*/true);
+  sim_.complete_task(task_uid, /*failed=*/true, trace::KillReason::kPreempt);
   auto& havail = avail_[static_cast<std::size_t>(host)];
   havail = (havail + book.est_local)
                .cwise_min(sim_.machines_[static_cast<std::size_t>(host)]
@@ -797,6 +809,10 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload)
     }
   }
   init_states(workload);
+
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<trace::Recorder>(config_.trace);
+  }
 }
 
 void Simulator::init_states(const Workload& workload) {
@@ -934,6 +950,16 @@ Resources Simulator::tracker_available(MachineId m, bool* has_young) const {
 SimResult Simulator::run(Scheduler& scheduler) {
   result_ = SimResult{};
   result_.scheduler_name = scheduler.name();
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kRunBegin;
+    ev.a = static_cast<std::int64_t>(config_.seed);
+    ev.b = num_real_machines_;
+    ev.c = static_cast<std::int64_t>(jobs_.size());
+    ev.d = config_.num_threads;
+    ev.e = config_.naive_scheduler_view ? 1 : 0;
+    tracer_->record(ev);
+  }
 
   // Machine events and activities first: a failure or activity at time t
   // must be visible to a scheduling pass at the same instant (FIFO
@@ -1023,12 +1049,33 @@ SimResult Simulator::run(Scheduler& scheduler) {
     if (job.finish >= 0) last_finish = std::max(last_finish, job.finish);
   }
   result_.makespan = last_finish - first_arrival;
+  if (tracer_) {
+    long finished_tasks = 0;
+    for (const auto& job : jobs_) finished_tasks += job.finished_tasks;
+    trace::Event ev;
+    ev.kind = trace::EventKind::kRunEnd;
+    ev.time = now_;
+    ev.a = finished_tasks;
+    ev.b = completed_jobs_;
+    ev.x = result_.makespan;
+    tracer_->record(ev);
+    result_.trace_log = tracer_->take_log();
+    result_.trace_log.scheduler = result_.scheduler_name;
+    result_.trace_log.seed = config_.seed;
+  }
   return result_;
 }
 
 void Simulator::on_arrival(JobId job_id) {
   JobState& job = jobs_[static_cast<std::size_t>(job_id)];
   job.arrived = true;
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kJobArrival;
+    ev.time = now_;
+    ev.a = job_id;
+    tracer_->record(ev);
+  }
   for (int s = 0; s < static_cast<int>(job.stages.size()); ++s) {
     if (job.stages[static_cast<std::size_t>(s)].unfinished_deps == 0) {
       make_stage_runnable(job, s);
@@ -1185,6 +1232,18 @@ void Simulator::start_task(const Probe& probe) {
   job.running_tasks++;
   job.current_alloc += pd.local;
   running_total_++;
+
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kTaskStart;
+    ev.time = now_;
+    ev.a = task.uid;
+    ev.b = job.id;
+    ev.c = probe.group.stage;
+    ev.d = probe.task_index;
+    ev.e = probe.machine;
+    tracer_->record(ev);
+  }
 }
 
 void Simulator::on_finish(int uid, long generation) {
@@ -1195,12 +1254,27 @@ void Simulator::on_finish(int uid, long generation) {
   complete_task(uid, /*failed=*/task.will_fail);
 }
 
-void Simulator::complete_task(int uid, bool failed) {
+void Simulator::complete_task(int uid, bool failed,
+                              trace::KillReason reason) {
   const TaskLoc& loc = locs_[static_cast<std::size_t>(uid)];
   JobState& job = jobs_[static_cast<std::size_t>(loc.job)];
   StageState& stage = job.stages[static_cast<std::size_t>(loc.stage)];
   TaskState& task = stage.tasks[static_cast<std::size_t>(loc.index)];
   auto& book = books_[static_cast<std::size_t>(uid)];
+
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = failed ? trace::EventKind::kTaskKill
+                     : trace::EventKind::kTaskFinish;
+    ev.time = now_;
+    ev.a = uid;
+    ev.b = loc.job;
+    ev.c = loc.stage;
+    ev.d = loc.index;
+    ev.e = task.host;
+    if (failed) ev.f = static_cast<std::int64_t>(reason);
+    tracer_->record(ev);
+  }
 
   machines_[static_cast<std::size_t>(task.host)].remove_demand(uid);
   mark_dirty(task.host);
@@ -1397,11 +1471,31 @@ void Simulator::sample_fairness(double dt) {
 
 void Simulator::run_pass(Scheduler& scheduler) {
   const int backlog = runnable_total_;
+  const long pass = pass_index_++;
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kPassBegin;
+    ev.time = now_;
+    ev.a = pass;
+    ev.b = backlog;
+    tracer_->record(ev);
+  }
   ContextImpl ctx(*this);
   const auto t0 = std::chrono::steady_clock::now();
   scheduler.schedule(ctx);
   const auto t1 = std::chrono::steady_clock::now();
   const double secs = std::chrono::duration<double>(t1 - t0).count();
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kPassEnd;
+    ev.time = now_;
+    ev.a = pass;
+    ev.b = ctx.placements;
+    ev.timing =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count();
+    tracer_->record(ev);
+  }
   result_.scheduler_cost.invocations++;
   result_.scheduler_cost.placements += ctx.placements;
   result_.scheduler_cost.total_seconds += secs;
@@ -1486,6 +1580,13 @@ void Simulator::on_machine_down(MachineId m) {
   down_count_++;
   churn_version_++;  // probes depend on replica masks and uplink capacity
   result_.churn.machines_failed++;
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kMachineDown;
+    ev.time = now_;
+    ev.a = m;
+    tracer_->record(ev);
+  }
   account_up_capacity();
   up_capacity_ =
       (up_capacity_ - machines_[static_cast<std::size_t>(m)].capacity())
@@ -1518,7 +1619,7 @@ void Simulator::on_machine_down(MachineId m) {
     }
     result_.churn.task_attempts_lost++;
     result_.churn.work_lost_seconds += now_ - t.start_time;
-    complete_task(uid, /*failed=*/true);
+    complete_task(uid, /*failed=*/true, trace::KillReason::kMachineFailure);
   }
 
   update_rack_uplink(m);
@@ -1569,6 +1670,13 @@ void Simulator::on_machine_up(MachineId m) {
   down_count_--;
   churn_version_++;  // probes depend on replica masks and uplink capacity
   result_.churn.machines_recovered++;
+  if (tracer_) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kMachineUp;
+    ev.time = now_;
+    ev.a = m;
+    tracer_->record(ev);
+  }
   account_up_capacity();
   up_capacity_ += machines_[static_cast<std::size_t>(m)].capacity();
   up_fraction_ = compute_up_fraction();

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace tetris::trace {
+
+// Binary log file format ("TTRC"): an 8-byte magic, format version, run
+// metadata, then the event stream in wire.h encoding. Events round-trip
+// bit-exactly (doubles are stored as raw IEEE-754 patterns), so a file
+// written from one run compares clean against a deterministic re-run.
+
+std::vector<std::uint8_t> serialize_log(const TraceLog& log);
+
+// Throws std::runtime_error on bad magic, unsupported version, or a
+// truncated/corrupt stream.
+TraceLog deserialize_log(const std::uint8_t* data, std::size_t size);
+
+// File wrappers around the two above; throw std::runtime_error on I/O
+// failure.
+void write_log_file(const std::string& path, const TraceLog& log);
+TraceLog read_log_file(const std::string& path);
+
+}  // namespace tetris::trace
+

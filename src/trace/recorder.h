@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace tetris::trace {
+
+struct TraceConfig {
+  bool enabled = false;
+  // Ring-buffer geometry, per recording thread. Each thread appends encoded
+  // records into fixed-size chunks; once a thread holds max_chunks_per_thread
+  // full chunks the oldest chunk is dropped whole (cheap, and the tail of the
+  // run — where divergences are diagnosed — is what survives). Defaults hold
+  // ~4 MiB/thread, roughly 250K records.
+  std::size_t chunk_bytes = 64 * 1024;
+  std::size_t max_chunks_per_thread = 64;
+};
+
+// Thread-safe binary event log. `record()` is wait-free against other
+// threads on the hot path: the only shared write is a relaxed fetch_add on
+// the global sequence counter; encoded bytes land in a per-thread buffer
+// (registered once per thread under a mutex, then cached thread-locally).
+// When `enabled()` is false, `record()` returns immediately.
+//
+// `take_log()` drains every thread's buffers into one stream ordered by the
+// global sequence number. It must not race with `record()` — callers drain
+// only after the traced run has completed.
+class Recorder {
+ public:
+  explicit Recorder(TraceConfig config = TraceConfig{});
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  bool enabled() const { return config_.enabled; }
+  const TraceConfig& config() const { return config_; }
+
+  void record(const Event& event);
+
+  // Records accepted so far (including any later dropped by ring overflow).
+  std::uint64_t recorded() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+  // Drains all buffers: decodes, merges across threads by sequence number,
+  // and resets the recorder so a subsequent run records from empty.
+  TraceLog take_log();
+
+ private:
+  struct Chunk {
+    std::vector<std::uint8_t> bytes;
+    std::size_t records = 0;
+  };
+  struct ThreadBuffer {
+    std::deque<Chunk> chunks;
+    std::uint64_t dropped = 0;
+  };
+
+  ThreadBuffer* local_buffer();
+
+  const TraceConfig config_;
+  const std::uint64_t id_;  // distinguishes recorders for thread-local caching
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::mutex mu_;  // guards buffers_ registration and take_log()
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+}  // namespace tetris::trace
+

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "trace/event.h"
+#include "trace/recorder.h"
+
 namespace tetris::tracker {
 
 ResourceTracker::ResourceTracker(Resources capacity, TrackerConfig config)
@@ -46,7 +49,24 @@ TrackerReport ResourceTracker::report(SimTime now) const {
   TrackerReport r;
   r.charged_usage = charged;
   r.available = (capacity_ - charged).max_zero();
+  if (tracer_ != nullptr) {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kUsageReport;
+    ev.time = now;
+    ev.a = node_id_;
+    ev.b = static_cast<std::int64_t>(live_.size());
+    ev.x = r.charged_usage[Resource::kCpu];
+    ev.y = r.charged_usage[Resource::kMem];
+    ev.z = r.available[Resource::kCpu];
+    ev.w = r.available[Resource::kMem];
+    tracer_->record(ev);
+  }
   return r;
+}
+
+void ResourceTracker::attach_tracer(trace::Recorder* tracer, int node_id) {
+  tracer_ = tracer;
+  node_id_ = node_id;
 }
 
 }  // namespace tetris::tracker

@@ -19,6 +19,10 @@
 #include "util/resources.h"
 #include "util/units.h"
 
+namespace tetris::trace {
+class Recorder;
+}  // namespace tetris::trace
+
 namespace tetris::tracker {
 
 struct TrackerConfig {
@@ -58,9 +62,16 @@ class ResourceTracker {
   // Builds the report the node manager heartbeats to the RM.
   TrackerReport report(SimTime now) const;
 
+  // Attaches an event-trace sink (DESIGN.md §10): every report() also
+  // records a kUsageReport event tagged with `node_id`. Pass nullptr to
+  // detach. The recorder must outlive the tracker.
+  void attach_tracer(trace::Recorder* tracer, int node_id);
+
  private:
   Resources capacity_;
   TrackerConfig config_;
+  trace::Recorder* tracer_ = nullptr;
+  int node_id_ = -1;
   Resources smoothed_usage_;
   bool have_observation_ = false;
 

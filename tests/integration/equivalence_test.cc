@@ -19,6 +19,7 @@
 
 #include "core/tetris_scheduler.h"
 #include "sim/simulator.h"
+#include "trace/replayer.h"
 #include "workload/facebook.h"
 #include "workload/profiles.h"
 #include "workload/suite.h"
@@ -148,6 +149,10 @@ TEST_P(EquivalenceTest, AllPathsAndThreadCountsAreBitIdentical) {
   const auto run = [&](bool naive, int threads) {
     sim::SimConfig cfg = make_sim_config(c);
     cfg.naive_scheduler_view = naive;
+    // Record the event stream too: decision events must agree across the
+    // whole matrix (DESIGN.md §10's cross-configuration contract).
+    cfg.trace.enabled = true;
+    cfg.trace.max_chunks_per_thread = 1024;
     core::TetrisConfig tcfg = c.tetris;
     tcfg.naive_scoring = naive;
     tcfg.num_threads = threads;
@@ -173,6 +178,14 @@ TEST_P(EquivalenceTest, AllPathsAndThreadCountsAreBitIdentical) {
     const sim::SimResult r = run(v.naive, v.threads);
     SCOPED_TRACE(first_placement_divergence(oracle, r));
     expect_identical(oracle, r);
+
+    // The recorded event streams must agree decision-for-decision with the
+    // oracle's — same arrivals, passes, placements (including alignment
+    // scores and fairness cuts), task lifecycle and churn edges.
+    ASSERT_EQ(r.trace_log.dropped, 0u);
+    const trace::Divergence d = trace::first_divergence(
+        oracle.trace_log, r.trace_log, trace::CompareMode::kDecisions);
+    EXPECT_TRUE(d.identical) << d.description;
 
     if (v.naive) {
       // The naive oracle must really be naive (at any thread count), or

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "trace/event.h"
+#include "trace/recorder.h"
 #include "util/units.h"
 
 namespace tetris::tracker {
@@ -102,6 +106,59 @@ TEST(ResourceTracker, RejectsBadConfig) {
   EXPECT_THROW(ResourceTracker(cap(), bad), std::invalid_argument);
   bad.usage_ewma_alpha = 1.5;
   EXPECT_THROW(ResourceTracker(cap(), bad), std::invalid_argument);
+}
+
+TEST(ResourceTracker, RampAllowanceEndsAtExactlyTheWindowBoundary) {
+  // The cutoff is `age >= window`, so a task aged exactly 10 s contributes
+  // nothing — not a small residual — while one double-ulp younger still
+  // contributes a strictly positive allowance. The boundary matters: a
+  // `>` comparison would charge a zero-scale allowance term forever-aged
+  // tasks still iterate over, and report() is on the heartbeat path.
+  TrackerConfig cfg;
+  cfg.ramp_up_window = 10.0;
+  cfg.ramp_allowance_fraction = 0.5;
+  ResourceTracker t(cap(), cfg);
+  Resources expected;
+  expected[Resource::kCpu] = 4;
+  t.on_task_start(1, expected, 0);
+
+  const double just_before = std::nextafter(10.0, 0.0);
+  EXPECT_GT(t.report(just_before).charged_usage[Resource::kCpu], 0.0);
+  EXPECT_EQ(t.report(10.0).charged_usage[Resource::kCpu], 0.0);
+  EXPECT_EQ(t.report(10.0).available[Resource::kCpu], 4.0);
+}
+
+TEST(ResourceTracker, AttachedTracerRecordsUsageReports) {
+  trace::TraceConfig tc;
+  tc.enabled = true;
+  trace::Recorder rec(tc);
+  ResourceTracker t(cap());
+  t.attach_tracer(&rec, /*node_id=*/3);
+
+  Resources u;
+  u[Resource::kCpu] = 1;
+  t.observe_usage(u, 0);
+  Resources expected;
+  expected[Resource::kCpu] = 2;
+  t.on_task_start(1, expected, 0);
+  const auto r = t.report(2.5);
+
+  const trace::TraceLog log = rec.take_log();
+  ASSERT_EQ(log.events.size(), 1u);
+  const trace::Event& ev = log.events[0];
+  EXPECT_EQ(ev.kind, trace::EventKind::kUsageReport);
+  EXPECT_EQ(ev.time, 2.5);
+  EXPECT_EQ(ev.a, 3);
+  EXPECT_EQ(ev.b, 1);  // one live task
+  EXPECT_EQ(ev.x, r.charged_usage[Resource::kCpu]);
+  EXPECT_EQ(ev.y, r.charged_usage[Resource::kMem]);
+  EXPECT_EQ(ev.z, r.available[Resource::kCpu]);
+  EXPECT_EQ(ev.w, r.available[Resource::kMem]);
+
+  // Detaching stops the recording; the tracker still reports normally.
+  t.attach_tracer(nullptr, -1);
+  t.report(3.0);
+  EXPECT_TRUE(rec.take_log().events.empty());
 }
 
 TEST(ResourceTracker, UsagePlusAllowanceCombine) {

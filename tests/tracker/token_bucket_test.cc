@@ -74,6 +74,52 @@ TEST(TokenBucket, ZeroRateNeverRefills) {
 TEST(TokenBucket, RejectsBadConstruction) {
   EXPECT_THROW(TokenBucket(-1, 10), std::invalid_argument);
   EXPECT_THROW(TokenBucket(10, 0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(10, -5), std::invalid_argument);
+}
+
+TEST(TokenBucket, ZeroSizedRequestSucceedsEvenWhenDrained) {
+  // A zero-byte I/O must never block, including against an empty bucket
+  // with no refill coming (rate 0).
+  TokenBucket b(0, 10);
+  ASSERT_TRUE(b.try_consume(10, 0));
+  EXPECT_TRUE(b.try_consume(0, 1));
+  EXPECT_EQ(b.earliest(0, 1), 1);
+  EXPECT_EQ(b.consume(0, 2), 2);
+  EXPECT_NEAR(b.tokens(2), 0.0, 1e-9);
+}
+
+TEST(TokenBucket, ZeroRateRefillIsExactlyZero) {
+  // refill() at rate 0 must leave the token count bit-for-bit unchanged
+  // across arbitrarily large time gaps — no 0 * huge = drift, no clamp
+  // surprises — so repeated failing probes stay cheap and stable.
+  TokenBucket b(0, 10);
+  ASSERT_TRUE(b.try_consume(7, 0));
+  EXPECT_EQ(b.tokens(0), 3.0);
+  EXPECT_FALSE(b.try_consume(4, 1e12));  // refill(1e12) ran: 3 + 0*1e12
+  EXPECT_EQ(b.tokens(1e12), 3.0);
+  EXPECT_TRUE(b.try_consume(3, 1e12));
+  EXPECT_NEAR(b.tokens(1e12), 0.0, 1e-12);
+}
+
+TEST(TokenBucket, ZeroRateOversizedRequestNeverCompletes) {
+  TokenBucket b(0, 10);
+  // Larger than burst: waits for a full bucket, which at rate 0 and a
+  // non-full bucket is never.
+  ASSERT_TRUE(b.try_consume(1, 0));
+  EXPECT_GT(b.earliest(25, 0), 1e17);
+}
+
+TEST(TokenBucket, SetRateFromZeroResumesRefill) {
+  // Re-allocation mid-flight: a throttled-to-zero flow accrues nothing
+  // while parked, then refills at the new rate from the moment of the
+  // change — not retroactively.
+  TokenBucket b(0, 100);
+  ASSERT_TRUE(b.try_consume(100, 0));
+  b.set_rate(10, 50);  // 50 idle seconds at rate 0 settle to +0 tokens
+  EXPECT_NEAR(b.tokens(50), 0.0, 1e-12);
+  EXPECT_FALSE(b.try_consume(20, 51));  // only 10 back so far
+  EXPECT_TRUE(b.try_consume(20, 52));
+  EXPECT_NEAR(b.earliest(100, 52), 62.0, 1e-9);
 }
 
 TEST(TokenBucket, RejectsTimeGoingBackwards) {
