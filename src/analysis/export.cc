@@ -119,6 +119,31 @@ std::string perf_counters_csv(const RunTag& tag,
   return os.str();
 }
 
+std::string streaming_csv(const RunTag& tag, const sim::SimResult& result,
+                          long total_tasks, double wall_seconds,
+                          double peak_rss_mb, bool with_header) {
+  std::ostringstream os;
+  if (with_header) {
+    os << "scheduler,threads,trace,tasks,makespan,passes,"
+          "jobs_admitted,jobs_retired,peak_resident_jobs,"
+          "peak_resident_tasks,stream_deferrals,"
+          "pass_p50_ms,pass_p99_ms,wall_seconds,tasks_per_sec,peak_rss_mb\n";
+  }
+  const auto& p = result.perf;
+  os << tag_prefix(tag) << "," << total_tasks
+     << "," << result.makespan << "," << result.pass_latency.count() << ","
+     << p.jobs_admitted << "," << p.jobs_retired << ","
+     << p.peak_resident_jobs << "," << p.peak_resident_tasks << ","
+     << p.stream_deferrals << ","
+     << result.pass_latency.quantile_seconds(0.50) * 1e3 << ","
+     << result.pass_latency.quantile_seconds(0.99) * 1e3 << ","
+     << wall_seconds << ","
+     << (wall_seconds > 0 ? static_cast<double>(total_tasks) / wall_seconds
+                          : 0.0)
+     << "," << peak_rss_mb << "\n";
+  return os.str();
+}
+
 bool export_result(const std::string& prefix, const sim::SimResult& result) {
   return write_file(prefix + "_jobs.csv", jobs_csv(result)) &&
          write_file(prefix + "_tasks.csv", tasks_csv(result)) &&

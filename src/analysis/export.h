@@ -51,6 +51,20 @@ std::string perf_counters_csv(const RunTag& tag,
                               const sim::SimResult& result,
                               bool with_header = true);
 
+// Single-row summary of a streaming run (DESIGN.md §11), the sustained-
+// throughput companion to the Table 8 latency tables. The row reuses the
+// RunTag prefix and carries no timestamps: the simulated columns
+// (tasks, makespan, passes, admissions/retirements, peak residency,
+// deferrals) are bit-reproducible for a fixed config, so regenerating the
+// bench_results CSV diffs clean; the trailing wall-clock columns
+// (pass p50/p99, wall_seconds, tasks_per_sec, peak_rss_mb) are the only
+// measured ones. `total_tasks` is the trace's task count (the simulator
+// folds task records away in streaming mode, so the caller supplies it);
+// pass `peak_rss_mb <= 0` when unknown.
+std::string streaming_csv(const RunTag& tag, const sim::SimResult& result,
+                          long total_tasks, double wall_seconds,
+                          double peak_rss_mb, bool with_header = true);
+
 // Writes the pieces next to each other: <prefix>_jobs.csv, _tasks.csv,
 // _timeline.csv, _churn.csv. Returns false if any write failed.
 bool export_result(const std::string& prefix, const sim::SimResult& result);

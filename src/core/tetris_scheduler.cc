@@ -58,6 +58,18 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // perf counters, strictly write-only: decisions never branch on it.
   trace::Recorder* tracer = ctx.tracer();
 
+  // Streaming retirement watermark: groups of jobs below it can never
+  // reappear (ids are never reused), so their starvation timestamps are
+  // dead weight — dropping them keeps this map bounded by the resident
+  // window without changing any future lookup. Batch contexts report 0.
+  if (const sim::JobId retired = ctx.retired_before();
+      retired > pruned_before_) {
+    std::erase_if(last_placement_, [&](const auto& kv) {
+      return (kv.first >> 20) < static_cast<long long>(retired);
+    });
+    pruned_before_ = retired;
+  }
+
   auto jobs = ctx.active_jobs();
   auto groups = ctx.runnable_groups();
   if (jobs.empty() || groups.empty()) return;

@@ -161,6 +161,8 @@ class TetrisScheduler final : public sim::Scheduler {
   // its tasks have waited long AND it has not been served recently — a
   // backlogged group that places tasks every pass is queued, not starved.
   std::unordered_map<long long, double> last_placement_;
+  // Highest retirement watermark already pruned from last_placement_.
+  sim::JobId pruned_before_ = 0;
 };
 
 }  // namespace tetris::core

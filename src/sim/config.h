@@ -87,6 +87,34 @@ struct ChurnConfig {
   bool enabled() const { return mttf > 0 || !scripted.empty(); }
 };
 
+// Streaming ingestion (DESIGN.md §11): instead of materializing the whole
+// workload upfront, the simulator pulls jobs from a JobSource in arrival
+// order through a bounded look-ahead window and retires completed jobs
+// from the resident working set, folding them into SimResult records on
+// the fly. Memory then tracks the in-flight window, not the trace length.
+struct StreamConfig {
+  // Selects the streaming path in simulate(); simulate_stream() implies it.
+  bool enabled = false;
+  // Admission horizon in virtual seconds: a job may enter the resident set
+  // once its arrival is within `lookahead` of current simulation time.
+  // Independent of correctness — the engine always admits at least the
+  // next due job so event ordering stays exact; the horizon only controls
+  // how much arrival buffer is prefetched.
+  double lookahead = 30.0;
+  // Hard ceilings on the resident set (admitted minus retired); 0 means
+  // unbounded. When a *due* arrival would cross a ceiling, admission is
+  // deferred until retirement frees space. Deferrals shift that job's
+  // effective arrival and are counted in PerfCounters::stream_deferrals;
+  // streaming is bit-identical to batch only while that counter stays 0.
+  long max_resident_tasks = 0;
+  long max_resident_jobs = 0;
+  // Drop per-job JobRecords for retired jobs (keeps only the aggregate
+  // makespan/completion accounting) — for soak runs where even one small
+  // record per job is unwanted. Off by default: records are the compact
+  // summaries retirement is supposed to produce.
+  bool drop_job_records = false;
+};
+
 struct SimConfig {
   // Homogeneous cluster unless `machine_capacities` is set explicitly.
   // When `machine_capacities` is set, leave this at its default or set it
@@ -122,6 +150,9 @@ struct SimConfig {
 
   // Machine-level failure injection; see ChurnConfig.
   ChurnConfig churn;
+
+  // Streaming ingestion knobs; see StreamConfig.
+  StreamConfig stream;
 
   std::uint64_t seed = 1;
 

@@ -1,0 +1,53 @@
+#include "sim/job_source.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace tetris::sim {
+
+WorkloadJobSource::WorkloadJobSource(const Workload& workload)
+    : workload_(&workload) {
+  for (std::size_t j = 1; j < workload.jobs.size(); ++j) {
+    if (workload.jobs[j].arrival < workload.jobs[j - 1].arrival) {
+      throw std::invalid_argument(
+          "WorkloadJobSource: job " + std::to_string(j) + " ('" +
+          workload.jobs[j].name + "') arrives at " +
+          std::to_string(workload.jobs[j].arrival) +
+          ", before its predecessor at " +
+          std::to_string(workload.jobs[j - 1].arrival) +
+          "; sort the workload by arrival first (sorted_by_arrival)");
+    }
+  }
+}
+
+long WorkloadJobSource::total_jobs() const {
+  return static_cast<long>(workload_->jobs.size());
+}
+
+bool WorkloadJobSource::peek(JobPeek& out) {
+  if (next_ >= workload_->jobs.size()) return false;
+  const JobSpec& job = workload_->jobs[next_];
+  out.arrival = job.arrival;
+  long tasks = 0;
+  for (const auto& stage : job.stages)
+    tasks += static_cast<long>(stage.tasks.size());
+  out.tasks = tasks;
+  return true;
+}
+
+bool WorkloadJobSource::next(JobSpec& out) {
+  if (next_ >= workload_->jobs.size()) return false;
+  out = workload_->jobs[next_++];
+  return true;
+}
+
+Workload sorted_by_arrival(const Workload& workload) {
+  Workload sorted = workload;
+  std::stable_sort(
+      sorted.jobs.begin(), sorted.jobs.end(),
+      [](const JobSpec& x, const JobSpec& y) { return x.arrival < y.arrival; });
+  return sorted;
+}
+
+}  // namespace tetris::sim

@@ -1,0 +1,67 @@
+// Incremental job ingestion for the streaming simulator (DESIGN.md §11).
+//
+// A JobSource yields jobs one at a time in non-decreasing arrival order —
+// the shape of an online arrival process, where the scheduler never sees
+// the trace in full. The simulator admits jobs through a bounded
+// look-ahead window and retires them on completion, so memory stays
+// proportional to the in-flight window instead of the whole trace.
+// Sources must know their total job count upfront (trace headers record
+// it); the simulator needs it to lay out deterministic event sequence
+// numbers, which is what keeps streaming runs bit-identical to batch runs.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/spec.h"
+
+namespace tetris::sim {
+
+// Cheap metadata about the next job, readable without materializing it.
+// The admission gate uses `arrival` to decide *when* and `tasks` to decide
+// *whether* (resident-task ceiling) the job may enter the simulation.
+struct JobPeek {
+  SimTime arrival = 0;
+  long tasks = 0;
+};
+
+class JobSource {
+ public:
+  virtual ~JobSource() = default;
+
+  // Total number of jobs this source will yield over its lifetime.
+  virtual long total_jobs() const = 0;
+
+  // Arrival time and task count of the next job without consuming it.
+  // Returns false once the source is exhausted.
+  virtual bool peek(JobPeek& out) = 0;
+
+  // Consumes the next job. Implementations must yield jobs in
+  // non-decreasing arrival order and throw (std::runtime_error) on an
+  // out-of-order record — a stream the scheduler cannot replay faithfully
+  // is an input error, not something to silently reorder.
+  virtual bool next(JobSpec& out) = 0;
+};
+
+// Adapter over an in-memory workload. The workload must already be sorted
+// by arrival time (use sorted_by_arrival below); the constructor throws
+// std::invalid_argument otherwise, naming the first offending job.
+class WorkloadJobSource final : public JobSource {
+ public:
+  explicit WorkloadJobSource(const Workload& workload);
+
+  long total_jobs() const override;
+  bool peek(JobPeek& out) override;
+  bool next(JobSpec& out) override;
+
+ private:
+  const Workload* workload_;
+  std::size_t next_ = 0;
+};
+
+// Copy of `workload` with jobs stably sorted by arrival time — the
+// canonical pre-step before streaming an in-memory workload. Job ids are
+// assigned by position, so batch and streaming runs of the *sorted*
+// workload are comparable record for record.
+Workload sorted_by_arrival(const Workload& workload);
+
+}  // namespace tetris::sim

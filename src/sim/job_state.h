@@ -49,6 +49,11 @@ struct TaskState {
   int attempts = 0;  // > 1 after failure-injected re-execution
   bool will_fail = false;
   double fail_at_progress = 1.0;
+  // The *estimated* demands booked for the running attempt at placement
+  // time (what the scheduler was charged); completion subtracts the same
+  // values. True demands live in `placement`.
+  Resources est_local;
+  std::vector<RemoteLeg> est_remote;
 };
 
 struct StageState {
@@ -88,7 +93,14 @@ struct JobState {
   SimTime arrival = 0;
   SimTime finish = -1;  // -1 while incomplete
   bool arrived = false;
+  // In streaming mode (DESIGN.md §11): the job's record has been folded
+  // into SimResult and its stages freed; only this shell remains until the
+  // retired prefix is popped off the resident window. complete() stays
+  // true for a shell, so iteration skips it exactly like a finished job.
+  bool retired = false;
   std::vector<StageState> stages;
+  // First task uid of this job; uids are contiguous per job in id order.
+  int uid_base = 0;
   int total_tasks = 0;
   int finished_tasks = 0;
   int running_tasks = 0;

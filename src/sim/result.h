@@ -9,6 +9,7 @@
 
 #include "sim/spec.h"
 #include "trace/event.h"
+#include "util/histogram.h"
 #include "util/perf_counters.h"
 #include "util/resources.h"
 #include "util/units.h"
@@ -105,6 +106,10 @@ struct SimResult {
 
   SchedulerCost scheduler_cost;
   std::vector<PassSample> pass_samples;
+  // Log-bucketed pass-latency distribution, always collected: unlike
+  // pass_samples it is fixed-size, so streaming runs can report p50/p99
+  // without retaining one sample per pass.
+  util::LatencyHistogram pass_latency;
   // Hot-path cache/index effectiveness over the whole run (DESIGN.md §8).
   util::PerfCounters perf;
   ChurnStats churn;

@@ -138,6 +138,14 @@ class SchedulerContext {
   // real machines (rack uplinks) are always up.
   virtual bool machine_up(MachineId /*m*/) const { return true; }
 
+  // Retirement watermark (streaming, DESIGN.md §11): every job with id
+  // strictly below this has completed and been folded out of the resident
+  // set; no group of such a job will ever appear again. Schedulers may
+  // drop any per-group state they keep for them (group ids are never
+  // reused), which is what keeps scheduler-side memory flat on streaming
+  // runs. Always 0 in batch mode — pruning nothing is the default.
+  virtual JobId retired_before() const { return 0; }
+
   // Groups with at least one runnable task, and all arrived-but-unfinished
   // jobs. Snapshots: re-fetch after placements to see updated counts.
   virtual std::vector<GroupView> runnable_groups() const = 0;

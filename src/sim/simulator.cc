@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <deque>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -73,16 +75,13 @@ struct EstFactors {
 
 class Simulator;
 
-// Demand-estimate scaling and per-task extra runtime state the scheduler
-// bookkeeping needs (kept out of job_state.h to keep that header lean).
-struct TaskBookkeeping {
-  Resources est_local;
-  std::vector<RemoteLeg> est_remote;
-};
-
 class Simulator {
  public:
+  // Batch mode: the whole workload is materialized upfront.
   Simulator(const SimConfig& config, const Workload& workload);
+  // Streaming mode (DESIGN.md §11): jobs are pulled from `source`
+  // incrementally and retired on completion. `source` must outlive the run.
+  Simulator(const SimConfig& config, JobSource& source);
   SimResult run(Scheduler& scheduler);
 
  private:
@@ -90,11 +89,28 @@ class Simulator {
   class ContextImpl;
 
   // ---- setup ----
+  void init_cluster();
   void init_states(const Workload& workload);
+  // Builds the JobState for `spec`, assigns contiguous uids, extends
+  // locs_, and (kNoisy) draws the job's noise factors — the single path
+  // both modes use, so draw order and uid layout agree bit for bit.
+  JobState& append_job(const JobSpec& spec);
+  void validate_job_spec(const JobSpec& spec) const;
   void push(Event e) {
     e.seq = next_seq_++;
     events_.push(e);
   }
+
+  // ---- streaming ingestion / retirement ----
+  bool streaming() const { return source_ != nullptr; }
+  // Admits every job that is due (its arrival precedes the next event) or
+  // within the look-ahead window, subject to the resident ceilings.
+  void pump_admissions();
+  void admit_job(JobSpec&& spec);
+  // Folds a completed job into SimResult, drops its memo entries and its
+  // stage/task state, and pops the contiguous retired prefix.
+  void retire_job(JobState& job);
+  void pop_retired_prefix();
 
   // ---- event handlers ----
   void on_arrival(JobId job);
@@ -124,15 +140,47 @@ class Simulator {
   }
   double compute_up_fraction() const;
 
+  // ---- job / task addressing ----
+  // Both containers are deques with a base offset: streaming pops the
+  // retired prefix while ids and uids keep indexing in O(1). In batch mode
+  // the bases stay 0 and these are plain indexed lookups.
+  JobState& job_at(JobId id) {
+    return jobs_[static_cast<std::size_t>(static_cast<long>(id) -
+                                          jobs_base_)];
+  }
+  const JobState& job_at(JobId id) const {
+    return const_cast<Simulator*>(this)->job_at(id);
+  }
+  bool has_job(JobId id) const {
+    const long i = static_cast<long>(id);
+    return i >= jobs_base_ && i < jobs_base_ + static_cast<long>(jobs_.size());
+  }
+  bool has_task(int uid) const {
+    const long i = static_cast<long>(uid) - locs_base_;
+    if (i < 0 || i >= static_cast<long>(locs_.size())) return false;
+    // A job retired mid-deque (an older job still resident blocks the
+    // prefix pop) keeps its locs entries but its stages are a shell:
+    // its tasks are gone too.
+    const TaskLoc& l = locs_[static_cast<std::size_t>(i)];
+    return !jobs_[static_cast<std::size_t>(static_cast<long>(l.job) -
+                                           jobs_base_)]
+                .retired;
+  }
+
   // ---- task lifecycle ----
   TaskState& task_at(int uid) {
-    const TaskLoc& l = locs_[static_cast<std::size_t>(uid)];
-    return jobs_[static_cast<std::size_t>(l.job)]
+    const TaskLoc& l =
+        locs_[static_cast<std::size_t>(static_cast<long>(uid) - locs_base_)];
+    return job_at(l.job)
         .stages[static_cast<std::size_t>(l.stage)]
         .tasks[static_cast<std::size_t>(l.index)];
   }
   const TaskState& task_at(int uid) const {
     return const_cast<Simulator*>(this)->task_at(uid);
+  }
+  const TaskLoc& loc_at(int uid) const {
+    return locs_[static_cast<std::size_t>(static_cast<long>(uid) -
+                                          locs_base_)];
   }
   void start_task(const Probe& probe);
   void complete_task(int uid, bool failed,
@@ -180,11 +228,30 @@ class Simulator {
   Resources avg_capacity_;
   Resources max_capacity_;  // component-wise max over machines
 
-  std::vector<JobState> jobs_;
-  std::vector<TaskLoc> locs_;
-  std::vector<TaskBookkeeping> books_;
+  std::deque<JobState> jobs_;
+  long jobs_base_ = 0;  // id of jobs_.front(); retired prefix popped
+  std::deque<TaskLoc> locs_;
+  long locs_base_ = 0;  // uid of locs_.front()
   std::unordered_map<long, EstFactors> noise_factors_;  // key: job<<20|stage
   std::unordered_set<int> profiled_templates_;
+
+  // ---- streaming state (DESIGN.md §11); inert in batch mode ----
+  JobSource* source_ = nullptr;
+  long total_jobs_ = 0;   // source_->total_jobs(), or workload size
+  int next_uid_ = 0;
+  // Arrival events carry reserved sequence numbers arrival_seq_base_ + id,
+  // laid out exactly where batch mode's upfront pushes would have put
+  // them, so (time, seq) ordering — and with it every tie-break — is
+  // identical no matter when a job is actually admitted.
+  long arrival_seq_base_ = 0;
+  long resident_jobs_ = 0;   // admitted minus retired
+  long resident_tasks_ = 0;
+  bool next_deferred_ = false;  // current head-of-source already counted
+  // Incremental makespan accounting (batch recomputes these at the end;
+  // streaming cannot, the records are folded away).
+  SimTime first_arrival_ = std::numeric_limits<double>::infinity();
+  SimTime last_finish_ = 0;
+  long total_finished_tasks_ = 0;
 
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   long next_seq_ = 0;
@@ -258,8 +325,12 @@ class Simulator {
   SimTime last_up_change_ = 0;
 
   Rng rng_;
+  // kNoisy factor stream, forked from rng_ at the same point in both
+  // modes; streaming draws from it lazily at admission, in job-id order —
+  // the same sequence batch mode consumes upfront.
+  Rng noise_rng_;
   int running_total_ = 0;
-  int completed_jobs_ = 0;
+  long completed_jobs_ = 0;
   std::vector<TaskReport> reports_;
 
   // Event tracing (DESIGN.md §10); null unless SimConfig::trace.enabled.
@@ -321,6 +392,9 @@ class Simulator::ContextImpl final : public SchedulerContext {
     return m >= 0 && m < static_cast<int>(sim_.machines_.size()) &&
            sim_.machine_is_up(m);
   }
+  JobId retired_before() const override {
+    return static_cast<JobId>(sim_.jobs_base_);
+  }
 
   std::vector<GroupView> runnable_groups() const override;
   std::vector<JobView> active_jobs() const override;
@@ -377,7 +451,7 @@ std::vector<GroupView> Simulator::ContextImpl::runnable_groups() const {
   }
   // Flag stages that feed other stages.
   for (auto& v : out) {
-    const auto& job = sim_.jobs_[static_cast<std::size_t>(v.ref.job)];
+    const auto& job = sim_.job_at(v.ref.job);
     for (const auto& st : job.stages) {
       if (std::find(st.deps.begin(), st.deps.end(), v.ref.stage) !=
           st.deps.end()) {
@@ -518,9 +592,8 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   if (machine < 0 || machine >= sim_.num_real_machines_ ||
       !sim_.machine_is_up(machine))
     return p;
-  if (group.job < 0 || group.job >= static_cast<int>(sim_.jobs_.size()))
-    return p;
-  const JobState& job = sim_.jobs_[static_cast<std::size_t>(group.job)];
+  if (!sim_.has_job(group.job)) return p;
+  const JobState& job = sim_.job_at(group.job);
   if (group.stage < 0 || group.stage >= static_cast<int>(job.stages.size()))
     return p;
   const StageState& stage = job.stages[static_cast<std::size_t>(group.stage)];
@@ -625,7 +698,8 @@ bool Simulator::ContextImpl::place(const Probe& probe) {
   if (probe.machine < 0 || probe.machine >= sim_.num_real_machines_ ||
       !sim_.machine_is_up(probe.machine))
     return false;
-  JobState& job = sim_.jobs_[static_cast<std::size_t>(probe.group.job)];
+  if (!sim_.has_job(probe.group.job)) return false;
+  JobState& job = sim_.job_at(probe.group.job);
   StageState& stage = job.stages[static_cast<std::size_t>(probe.group.stage)];
   TaskState& task = stage.tasks[static_cast<std::size_t>(probe.task_index)];
   if (task.status != TaskStatus::kRunnable) return false;
@@ -657,7 +731,7 @@ std::vector<RunningTaskView> Simulator::ContextImpl::running_tasks() const {
         v.stage = static_cast<int>(s);
         v.machine = task.host;
         v.started = task.start_time;
-        v.demand = sim_.books_[static_cast<std::size_t>(task.uid)].est_local;
+        v.demand = task.est_local;
         out.push_back(v);
       }
     }
@@ -666,20 +740,20 @@ std::vector<RunningTaskView> Simulator::ContextImpl::running_tasks() const {
 }
 
 bool Simulator::ContextImpl::preempt(int task_uid) {
-  if (task_uid < 0 || task_uid >= static_cast<int>(sim_.locs_.size()))
-    return false;
+  if (!sim_.has_task(task_uid)) return false;
   TaskState& task = sim_.task_at(task_uid);
   if (task.status != TaskStatus::kRunning) return false;
   // Capture the booked estimates before the requeue clears the machines,
   // so this pass's availability view regains what the kill frees.
-  const auto book = sim_.books_[static_cast<std::size_t>(task_uid)];
+  const auto est_local = task.est_local;
+  const auto est_remote = task.est_remote;
   const MachineId host = task.host;
   sim_.complete_task(task_uid, /*failed=*/true, trace::KillReason::kPreempt);
   auto& havail = avail_[static_cast<std::size_t>(host)];
-  havail = (havail + book.est_local)
+  havail = (havail + est_local)
                .cwise_min(sim_.machines_[static_cast<std::size_t>(host)]
                               .capacity());
-  for (const auto& leg : book.est_remote) {
+  for (const auto& leg : est_remote) {
     auto& ravail = avail_[static_cast<std::size_t>(leg.machine)];
     ravail = (ravail + leg_resources(leg))
                  .cwise_min(
@@ -694,6 +768,57 @@ bool Simulator::ContextImpl::preempt(int task_uid) {
 
 Simulator::Simulator(const SimConfig& config, const Workload& workload)
     : config_(config), interference_(config.interference), rng_(config.seed) {
+  init_cluster();
+
+  if (auto msg = validate(workload); !msg.empty())
+    throw std::invalid_argument("invalid workload: " + msg);
+  // Replica locations must refer to machines this cluster actually has
+  // (a workload generated for a bigger cluster would index out of range).
+  const auto n = static_cast<MachineId>(num_real_machines_);
+  for (const auto& job : workload.jobs) {
+    for (const auto& stage : job.stages) {
+      for (const auto& task : stage.tasks) {
+        for (const auto& split : task.inputs) {
+          for (MachineId r : split.replicas) {
+            if (r < 0 || r >= n) {
+              throw std::invalid_argument(
+                  "invalid workload: job '" + job.name +
+                  "' references replica machine " + std::to_string(r) +
+                  " but the cluster has " + std::to_string(n) + " machines");
+            }
+          }
+        }
+      }
+    }
+  }
+  init_states(workload);
+
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<trace::Recorder>(config_.trace);
+  }
+}
+
+Simulator::Simulator(const SimConfig& config, JobSource& source)
+    : config_(config), interference_(config.interference), rng_(config.seed) {
+  init_cluster();
+
+  source_ = &source;
+  total_jobs_ = source.total_jobs();
+  if (total_jobs_ < 0)
+    throw std::invalid_argument("JobSource reports a negative job count");
+  // Same fork point as init_states' batch draw: the noise stream must be
+  // derived after the churn stream (if any), or enabling streaming would
+  // perturb the factor sequence.
+  if (config_.estimation.mode == EstimationMode::kNoisy) {
+    noise_rng_ = rng_.fork();
+  }
+
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<trace::Recorder>(config_.trace);
+  }
+}
+
+void Simulator::init_cluster() {
   // An explicit machine_capacities that contradicts an explicit
   // num_machines is a config bug: resolved_capacities() silently prefers
   // the vector, so the caller would simulate a different cluster than the
@@ -787,82 +912,191 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload)
     }
   }
 
-  if (auto msg = validate(workload); !msg.empty())
+}
+
+void Simulator::init_states(const Workload& workload) {
+  total_jobs_ = static_cast<long>(workload.jobs.size());
+  if (config_.estimation.mode == EstimationMode::kNoisy) {
+    noise_rng_ = rng_.fork();
+  }
+  for (const JobSpec& spec : workload.jobs) append_job(spec);
+}
+
+JobState& Simulator::append_job(const JobSpec& spec) {
+  JobState job;
+  job.id = static_cast<JobId>(jobs_base_ + static_cast<long>(jobs_.size()));
+  job.name = spec.name;
+  job.template_id = spec.template_id;
+  job.queue = spec.queue;
+  job.arrival = spec.arrival;
+  job.uid_base = next_uid_;
+  job.stages.reserve(spec.stages.size());
+  for (std::size_t s = 0; s < spec.stages.size(); ++s) {
+    const StageSpec& sspec = spec.stages[s];
+    StageState stage;
+    stage.deps = sspec.deps;
+    stage.unfinished_deps = static_cast<int>(sspec.deps.size());
+    stage.tasks.reserve(sspec.tasks.size());
+    for (std::size_t t = 0; t < sspec.tasks.size(); ++t) {
+      TaskState task;
+      task.spec = sspec.tasks[t];
+      task.uid = next_uid_++;
+      task.index_in_stage = static_cast<int>(t);
+      locs_.push_back({job.id, static_cast<int>(s), static_cast<int>(t)});
+      stage.tasks.push_back(std::move(task));
+    }
+    job.total_tasks += stage.total();
+    job.stages.push_back(std::move(stage));
+  }
+
+  if (config_.estimation.mode == EstimationMode::kNoisy) {
+    for (std::size_t s = 0; s < job.stages.size(); ++s) {
+      EstFactors f;
+      for (std::size_t i = 0; i < kNumResources; ++i) {
+        f.demand.at(i) =
+            noise_rng_.lognormal_mean_cov(1.0, config_.estimation.noise_cov);
+      }
+      f.duration =
+          noise_rng_.lognormal_mean_cov(1.0, config_.estimation.noise_cov);
+      noise_factors_[(static_cast<long>(job.id) << 20) |
+                     static_cast<long>(s)] = f;
+    }
+  }
+
+  jobs_.push_back(std::move(job));
+  return jobs_.back();
+}
+
+void Simulator::validate_job_spec(const JobSpec& spec) const {
+  if (auto msg = validate(spec); !msg.empty())
     throw std::invalid_argument("invalid workload: " + msg);
-  // Replica locations must refer to machines this cluster actually has
-  // (a workload generated for a bigger cluster would index out of range).
-  const auto n = static_cast<MachineId>(caps.size());
-  for (const auto& job : workload.jobs) {
-    for (const auto& stage : job.stages) {
-      for (const auto& task : stage.tasks) {
-        for (const auto& split : task.inputs) {
-          for (MachineId r : split.replicas) {
-            if (r < 0 || r >= n) {
-              throw std::invalid_argument(
-                  "invalid workload: job '" + job.name +
-                  "' references replica machine " + std::to_string(r) +
-                  " but the cluster has " + std::to_string(n) + " machines");
-            }
+  const auto n = static_cast<MachineId>(num_real_machines_);
+  for (const auto& stage : spec.stages) {
+    for (const auto& task : stage.tasks) {
+      for (const auto& split : task.inputs) {
+        for (MachineId r : split.replicas) {
+          if (r < 0 || r >= n) {
+            throw std::invalid_argument(
+                "invalid workload: job '" + spec.name +
+                "' references replica machine " + std::to_string(r) +
+                " but the cluster has " + std::to_string(n) + " machines");
           }
         }
       }
     }
   }
-  init_states(workload);
+}
 
-  if (config_.trace.enabled) {
-    tracer_ = std::make_unique<trace::Recorder>(config_.trace);
+void Simulator::pump_admissions() {
+  if (!streaming()) return;
+  JobPeek peek;
+  while (source_->peek(peek)) {
+    // "Due": the arrival precedes (or ties) the next event to be
+    // processed, so it must enter the queue now to keep event order
+    // exact. "Prefetch": merely within the look-ahead horizon.
+    const bool due = events_.empty() || peek.arrival <= events_.top().time;
+    const bool prefetch = peek.arrival <= now_ + config_.stream.lookahead;
+    if (!due && !prefetch) break;
+    const auto& sc = config_.stream;
+    if (sc.max_resident_tasks > 0 && peek.tasks > sc.max_resident_tasks) {
+      throw std::invalid_argument(
+          "StreamConfig::max_resident_tasks=" +
+          std::to_string(sc.max_resident_tasks) +
+          " is smaller than a single job with " + std::to_string(peek.tasks) +
+          " tasks; it can never be admitted");
+    }
+    const bool job_cap =
+        sc.max_resident_jobs > 0 && resident_jobs_ >= sc.max_resident_jobs;
+    const bool task_cap =
+        sc.max_resident_tasks > 0 &&
+        resident_tasks_ + peek.tasks > sc.max_resident_tasks;
+    if (job_cap || task_cap) {
+      // Ceiling hit: hold the job back until a retirement frees space. A
+      // *due* job held back arrives late — count it, once per job.
+      if (due && !next_deferred_) {
+        perf_.stream_deferrals++;
+        next_deferred_ = true;
+      }
+      break;
+    }
+    next_deferred_ = false;
+    JobSpec spec;
+    source_->next(spec);
+    admit_job(std::move(spec));
   }
 }
 
-void Simulator::init_states(const Workload& workload) {
-  jobs_.reserve(workload.jobs.size());
-  int uid = 0;
-  for (std::size_t j = 0; j < workload.jobs.size(); ++j) {
-    const JobSpec& spec = workload.jobs[j];
-    JobState job;
-    job.id = static_cast<JobId>(j);
-    job.name = spec.name;
-    job.template_id = spec.template_id;
-    job.queue = spec.queue;
-    job.arrival = spec.arrival;
-    job.stages.reserve(spec.stages.size());
-    for (std::size_t s = 0; s < spec.stages.size(); ++s) {
-      const StageSpec& sspec = spec.stages[s];
-      StageState stage;
-      stage.deps = sspec.deps;
-      stage.unfinished_deps = static_cast<int>(sspec.deps.size());
-      stage.tasks.reserve(sspec.tasks.size());
-      for (std::size_t t = 0; t < sspec.tasks.size(); ++t) {
-        TaskState task;
-        task.spec = sspec.tasks[t];
-        task.uid = uid++;
-        task.index_in_stage = static_cast<int>(t);
-        locs_.push_back({job.id, static_cast<int>(s), static_cast<int>(t)});
-        stage.tasks.push_back(std::move(task));
-      }
-      job.total_tasks += stage.total();
-      job.stages.push_back(std::move(stage));
-    }
-    jobs_.push_back(std::move(job));
-  }
-  books_.assign(static_cast<std::size_t>(uid), TaskBookkeeping{});
+void Simulator::admit_job(JobSpec&& spec) {
+  validate_job_spec(spec);
+  JobState& job = append_job(spec);
+  first_arrival_ = std::min(first_arrival_, job.arrival);
+  resident_jobs_++;
+  resident_tasks_ += job.total_tasks;
+  perf_.jobs_admitted++;
+  perf_.peak_resident_jobs =
+      std::max(perf_.peak_resident_jobs, resident_jobs_);
+  perf_.peak_resident_tasks =
+      std::max(perf_.peak_resident_tasks, resident_tasks_);
+  // Reserved sequence number: exactly the seq batch mode's upfront push
+  // loop would have assigned this arrival. Bypasses push()/next_seq_.
+  Event e;
+  e.time = job.arrival;
+  e.seq = arrival_seq_base_ + static_cast<long>(job.id);
+  e.type = Event::Type::kArrival;
+  e.a = job.id;
+  events_.push(e);
+}
 
-  if (config_.estimation.mode == EstimationMode::kNoisy) {
-    Rng noise = rng_.fork();
-    for (const auto& job : jobs_) {
-      for (std::size_t s = 0; s < job.stages.size(); ++s) {
-        EstFactors f;
-        for (std::size_t i = 0; i < kNumResources; ++i) {
-          f.demand.at(i) =
-              noise.lognormal_mean_cov(1.0, config_.estimation.noise_cov);
-        }
-        f.duration =
-            noise.lognormal_mean_cov(1.0, config_.estimation.noise_cov);
-        noise_factors_[(static_cast<long>(job.id) << 20) |
-                       static_cast<long>(s)] = f;
-      }
+void Simulator::retire_job(JobState& job) {
+  if (!config_.stream.drop_job_records) {
+    JobRecord rec;
+    rec.id = job.id;
+    rec.name = job.name;
+    rec.template_id = job.template_id;
+    rec.arrival = job.arrival;
+    rec.finish = job.finish;
+    rec.total_tasks = job.total_tasks;
+    rec.unfairness_integral = job.unfairness_integral;
+    result_.jobs.push_back(std::move(rec));
+  }
+  last_finish_ = std::max(last_finish_, job.finish);
+
+  // Drop every memo entry keyed by this job; none can be consulted again
+  // (complete jobs emit no groups), so erasure cannot change a decision.
+  for (int s = 0; s < static_cast<int>(job.stages.size()); ++s) {
+    const long gkey =
+        (static_cast<long>(job.id) << 20) | static_cast<long>(s);
+    est_memo_.erase(gkey);
+    noise_factors_.erase(gkey);
+    const std::uint64_t pbase =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(job.id))
+         << 32) |
+        (static_cast<std::uint64_t>(s) << 16);
+    for (std::size_t m = 0; m < machines_.size(); ++m) {
+      probe_memo_.erase(pbase | static_cast<std::uint64_t>(m));
     }
+  }
+
+  resident_jobs_--;
+  resident_tasks_ -= job.total_tasks;
+  perf_.jobs_retired++;
+
+  // Shrink to a shell: counts survive (complete() must stay true) but the
+  // per-task state — the actual memory — goes. The shell itself is popped
+  // once it reaches the front of the resident window.
+  job.stages.clear();
+  job.stages.shrink_to_fit();
+  job.retired = true;
+  pop_retired_prefix();
+}
+
+void Simulator::pop_retired_prefix() {
+  while (!jobs_.empty() && jobs_.front().retired) {
+    const int nt = jobs_.front().total_tasks;
+    for (int i = 0; i < nt; ++i) locs_.pop_front();
+    locs_base_ += nt;
+    jobs_.pop_front();
+    jobs_base_++;
   }
 }
 
@@ -942,7 +1176,7 @@ Resources Simulator::tracker_available(MachineId m, bool* has_young) const {
     if (has_young != nullptr) *has_young = true;
     const double scale = config_.ramp_allowance_fraction *
                          (1.0 - age / config_.ramp_up_window);
-    used += books_[static_cast<std::size_t>(uid)].est_local * scale;
+    used += t.est_local * scale;
   }
   return (machine.capacity() - used).max_zero();
 }
@@ -955,7 +1189,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
     ev.kind = trace::EventKind::kRunBegin;
     ev.a = static_cast<std::int64_t>(config_.seed);
     ev.b = num_real_machines_;
-    ev.c = static_cast<std::int64_t>(jobs_.size());
+    ev.c = static_cast<std::int64_t>(total_jobs_);
     ev.d = config_.num_threads;
     ev.e = config_.naive_scheduler_view ? 1 : 0;
     tracer_->record(ev);
@@ -973,16 +1207,29 @@ SimResult Simulator::run(Scheduler& scheduler) {
     push({act.start, 0, Event::Type::kActivity, static_cast<int>(i), 1});
     push({act.end, 0, Event::Type::kActivity, static_cast<int>(i), 0});
   }
-  for (const auto& job : jobs_) {
-    push({job.arrival, 0, Event::Type::kArrival, job.id, 0});
+  if (streaming()) {
+    // Reserve the seq block batch mode's upfront arrival pushes would
+    // occupy; each admission fills its own slot (arrival_seq_base_ + id),
+    // so later pushes (heartbeats, finish predictions) line up exactly.
+    arrival_seq_base_ = next_seq_;
+    next_seq_ += total_jobs_;
+    pump_admissions();
+  } else {
+    for (const auto& job : jobs_) {
+      push({job.arrival, 0, Event::Type::kArrival, job.id, 0});
+    }
   }
   push({0, 0, Event::Type::kHeartbeat, 0, 0});
   if (config_.collect_timeline) {
     push({0, 0, Event::Type::kTimeline, 0, 0});
   }
 
-  while (!events_.empty() &&
-         completed_jobs_ < static_cast<int>(jobs_.size())) {
+  while (completed_jobs_ < total_jobs_) {
+    // Streaming: every job due before (or at) the next event must be in
+    // the queue before that event pops, or ordering would drift from
+    // batch. No-op in batch mode.
+    pump_admissions();
+    if (events_.empty()) break;
     const Event e = events_.top();
     events_.pop();
     if (e.time > config_.max_time) break;
@@ -992,10 +1239,14 @@ SimResult Simulator::run(Scheduler& scheduler) {
         on_arrival(e.a);
         // Coalesce simultaneous arrivals into one scheduling pass, or the
         // first job of a batch would grab the whole cluster before its
-        // peers even exist (fairness would be meaningless at t=0).
-        while (!events_.empty() &&
-               events_.top().type == Event::Type::kArrival &&
-               events_.top().time <= now_) {
+        // peers even exist (fairness would be meaningless at t=0). The
+        // pump keeps feeding same-instant admissions in streaming mode.
+        for (;;) {
+          pump_admissions();
+          if (events_.empty() ||
+              events_.top().type != Event::Type::kArrival ||
+              events_.top().time > now_)
+            break;
           on_arrival(events_.top().a);
           events_.pop();
         }
@@ -1027,35 +1278,66 @@ SimResult Simulator::run(Scheduler& scheduler) {
     }
   }
 
-  result_.completed = completed_jobs_ == static_cast<int>(jobs_.size());
+  result_.completed = completed_jobs_ == total_jobs_;
   result_.end_time = now_;
-  result_.perf = perf_;
   account_up_capacity();
   result_.churn.effective_capacity =
       now_ > 0 ? up_capacity_integral_ / now_ : 1.0;
-  SimTime first_arrival = jobs_.empty() ? 0 : jobs_.front().arrival;
-  SimTime last_finish = 0;
+  // Fold the jobs still resident (all of them in batch mode; the
+  // incomplete remainder in streaming — retired jobs are in result_.jobs
+  // already). Then, streaming only: drain the never-admitted tail of the
+  // source into finish = -1 records so incomplete runs report the same
+  // record set batch mode would.
   for (const auto& job : jobs_) {
-    first_arrival = std::min(first_arrival, job.arrival);
-    JobRecord rec;
-    rec.id = job.id;
-    rec.name = job.name;
-    rec.template_id = job.template_id;
-    rec.arrival = job.arrival;
-    rec.finish = job.finish;
-    rec.total_tasks = job.total_tasks;
-    rec.unfairness_integral = job.unfairness_integral;
-    result_.jobs.push_back(std::move(rec));
-    if (job.finish >= 0) last_finish = std::max(last_finish, job.finish);
+    if (job.retired) continue;
+    first_arrival_ = std::min(first_arrival_, job.arrival);
+    if (!config_.stream.drop_job_records) {
+      JobRecord rec;
+      rec.id = job.id;
+      rec.name = job.name;
+      rec.template_id = job.template_id;
+      rec.arrival = job.arrival;
+      rec.finish = job.finish;
+      rec.total_tasks = job.total_tasks;
+      rec.unfairness_integral = job.unfairness_integral;
+      result_.jobs.push_back(std::move(rec));
+    }
+    if (job.finish >= 0) last_finish_ = std::max(last_finish_, job.finish);
   }
-  result_.makespan = last_finish - first_arrival;
+  if (streaming()) {
+    JobSpec spec;
+    JobId drained_id =
+        static_cast<JobId>(jobs_base_ + static_cast<long>(jobs_.size()));
+    while (source_->next(spec)) {
+      first_arrival_ = std::min(first_arrival_, spec.arrival);
+      if (!config_.stream.drop_job_records) {
+        JobRecord rec;
+        rec.id = drained_id;
+        rec.name = spec.name;
+        rec.template_id = spec.template_id;
+        rec.arrival = spec.arrival;
+        rec.finish = -1;
+        for (const auto& stage : spec.stages)
+          rec.total_tasks += static_cast<int>(stage.tasks.size());
+        result_.jobs.push_back(std::move(rec));
+      }
+      drained_id++;
+    }
+    // Retirement appends in completion order; batch emits in id order.
+    std::sort(result_.jobs.begin(), result_.jobs.end(),
+              [](const JobRecord& x, const JobRecord& y) {
+                return x.id < y.id;
+              });
+  }
+  result_.perf = perf_;
+  result_.makespan =
+      last_finish_ -
+      (std::isfinite(first_arrival_) ? first_arrival_ : 0.0);
   if (tracer_) {
-    long finished_tasks = 0;
-    for (const auto& job : jobs_) finished_tasks += job.finished_tasks;
     trace::Event ev;
     ev.kind = trace::EventKind::kRunEnd;
     ev.time = now_;
-    ev.a = finished_tasks;
+    ev.a = total_finished_tasks_;
     ev.b = completed_jobs_;
     ev.x = result_.makespan;
     tracer_->record(ev);
@@ -1067,7 +1349,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
 }
 
 void Simulator::on_arrival(JobId job_id) {
-  JobState& job = jobs_[static_cast<std::size_t>(job_id)];
+  JobState& job = job_at(job_id);
   job.arrived = true;
   if (tracer_) {
     trace::Event ev;
@@ -1182,7 +1464,7 @@ void Simulator::materialize_stage(JobState& job, int stage_index) {
 }
 
 void Simulator::start_task(const Probe& probe) {
-  JobState& job = jobs_[static_cast<std::size_t>(probe.group.job)];
+  JobState& job = job_at(probe.group.job);
   StageState& stage = job.stages[static_cast<std::size_t>(probe.group.stage)];
   TaskState& task = stage.tasks[static_cast<std::size_t>(probe.task_index)];
 
@@ -1204,21 +1486,20 @@ void Simulator::start_task(const Probe& probe) {
                    rng_.bernoulli(config_.task_failure_prob);
   task.fail_at_progress = task.will_fail ? rng_.uniform(0.05, 0.95) : 1.0;
 
-  auto& book = books_[static_cast<std::size_t>(task.uid)];
-  book.est_local = probe.demand;
-  book.est_remote = probe.remote;
+  task.est_local = probe.demand;
+  task.est_remote = probe.remote;
 
   machines_[static_cast<std::size_t>(probe.machine)].add_demand(task.uid,
                                                                 pd.local);
   mark_dirty(probe.machine);
-  alloc_est_[static_cast<std::size_t>(probe.machine)] += book.est_local;
+  alloc_est_[static_cast<std::size_t>(probe.machine)] += task.est_local;
   hosted_count_[static_cast<std::size_t>(probe.machine)]++;
   for (const auto& leg : pd.remote) {
     const Resources r = leg_resources(leg);
     machines_[static_cast<std::size_t>(leg.machine)].add_demand(task.uid, r);
     mark_dirty(leg.machine);
   }
-  for (const auto& leg : book.est_remote) {
+  for (const auto& leg : task.est_remote) {
     const Resources r = leg_resources(leg);
     alloc_est_[static_cast<std::size_t>(leg.machine)] += r;
     // est legs normally coincide with pd.remote (already marked), but the
@@ -1247,6 +1528,9 @@ void Simulator::start_task(const Probe& probe) {
 }
 
 void Simulator::on_finish(int uid, long generation) {
+  // A prediction for a task whose job has since retired is stale by
+  // definition (the task finished; its generation moved on).
+  if (!has_task(uid)) return;
   TaskState& task = task_at(uid);
   if (task.status != TaskStatus::kRunning || task.generation != generation)
     return;  // stale prediction
@@ -1256,11 +1540,10 @@ void Simulator::on_finish(int uid, long generation) {
 
 void Simulator::complete_task(int uid, bool failed,
                               trace::KillReason reason) {
-  const TaskLoc& loc = locs_[static_cast<std::size_t>(uid)];
-  JobState& job = jobs_[static_cast<std::size_t>(loc.job)];
+  const TaskLoc loc = loc_at(uid);
+  JobState& job = job_at(loc.job);
   StageState& stage = job.stages[static_cast<std::size_t>(loc.stage)];
   TaskState& task = stage.tasks[static_cast<std::size_t>(loc.index)];
-  auto& book = books_[static_cast<std::size_t>(uid)];
 
   if (tracer_) {
     trace::Event ev;
@@ -1279,14 +1562,14 @@ void Simulator::complete_task(int uid, bool failed,
   machines_[static_cast<std::size_t>(task.host)].remove_demand(uid);
   mark_dirty(task.host);
   alloc_est_[static_cast<std::size_t>(task.host)] =
-      (alloc_est_[static_cast<std::size_t>(task.host)] - book.est_local)
+      (alloc_est_[static_cast<std::size_t>(task.host)] - task.est_local)
           .max_zero();
   hosted_count_[static_cast<std::size_t>(task.host)]--;
   for (const auto& leg : task.placement.remote) {
     machines_[static_cast<std::size_t>(leg.machine)].remove_demand(uid);
     mark_dirty(leg.machine);
   }
-  for (const auto& leg : book.est_remote) {
+  for (const auto& leg : task.est_remote) {
     const Resources r = leg_resources(leg);
     alloc_est_[static_cast<std::size_t>(leg.machine)] =
         (alloc_est_[static_cast<std::size_t>(leg.machine)] - r).max_zero();
@@ -1316,6 +1599,7 @@ void Simulator::complete_task(int uid, bool failed,
   task.generation++;
   stage.finished++;
   job.finished_tasks++;
+  total_finished_tasks_++;
 
   if (task.spec.output_bytes > 0) {
     auto it = std::find_if(
@@ -1365,6 +1649,10 @@ void Simulator::complete_task(int uid, bool failed,
         profiled_templates_.insert(job.template_id).second) {
       profile_version_++;  // kLearnedProfile estimates may snap to truth
     }
+    // Streaming: fold the finished job into its record and free its
+    // state. Only the success path can complete a job, so retirement
+    // never happens mid-pass (preemption requeues, it never finishes).
+    if (streaming()) retire_job(job);
   }
   refresh_dirty();
 }
@@ -1501,6 +1789,7 @@ void Simulator::run_pass(Scheduler& scheduler) {
   result_.scheduler_cost.total_seconds += secs;
   result_.scheduler_cost.max_seconds =
       std::max(result_.scheduler_cost.max_seconds, secs);
+  result_.pass_latency.add_seconds(secs);
   if (config_.collect_pass_samples) {
     result_.pass_samples.push_back(
         {now_, backlog, static_cast<int>(ctx.placements), secs});
@@ -1628,8 +1917,8 @@ void Simulator::on_machine_down(MachineId m) {
 }
 
 void Simulator::failover_reads(int uid) {
-  const TaskLoc& loc = locs_[static_cast<std::size_t>(uid)];
-  JobState& job = jobs_[static_cast<std::size_t>(loc.job)];
+  const TaskLoc& loc = loc_at(uid);
+  JobState& job = job_at(loc.job);
   TaskState& t = job.stages[static_cast<std::size_t>(loc.stage)]
                      .tasks[static_cast<std::size_t>(loc.index)];
   // Bank progress earned under the old placement, then swap every demand
@@ -1696,7 +1985,20 @@ void Simulator::on_machine_up(MachineId m) {
 
 SimResult simulate(const SimConfig& config, const Workload& workload,
                    Scheduler& scheduler) {
+  if (config.stream.enabled) {
+    WorkloadJobSource source(workload);
+    Simulator sim(config, source);
+    return sim.run(scheduler);
+  }
   Simulator sim(config, workload);
+  return sim.run(scheduler);
+}
+
+SimResult simulate_stream(const SimConfig& config, JobSource& source,
+                          Scheduler& scheduler) {
+  SimConfig cfg = config;
+  cfg.stream.enabled = true;
+  Simulator sim(cfg, source);
   return sim.run(scheduler);
 }
 

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "sim/config.h"
+#include "sim/job_source.h"
 #include "sim/result.h"
 #include "sim/scheduler.h"
 #include "sim/spec.h"
@@ -20,8 +21,20 @@
 namespace tetris::sim {
 
 // Runs `workload` under `scheduler` and returns the measured result.
-// Throws std::invalid_argument on malformed workloads.
+// Throws std::invalid_argument on malformed workloads. When
+// config.stream.enabled is set, the workload (which must be sorted by
+// arrival) is driven through the streaming path below instead of being
+// materialized upfront.
 SimResult simulate(const SimConfig& config, const Workload& workload,
                    Scheduler& scheduler);
+
+// Streaming entry point (DESIGN.md §11): pulls jobs from `source`
+// incrementally through StreamConfig's look-ahead window and retires
+// completed jobs from memory as it goes. With no resident ceilings (or
+// ceilings never hit — PerfCounters::stream_deferrals == 0) the result is
+// bit-identical to simulate() on the equivalent in-memory workload.
+// config.stream.enabled is implied.
+SimResult simulate_stream(const SimConfig& config, JobSource& source,
+                          Scheduler& scheduler);
 
 }  // namespace tetris::sim

@@ -37,6 +37,18 @@ struct PerfCounters {
   // score_evals split by column shard; empty when every pass ran serial.
   std::vector<long> shard_score_evals;
 
+  // Streaming-ingestion bookkeeping (DESIGN.md §11); all zero in batch
+  // mode. Peaks merge with max under +=, so aggregated counters report
+  // the worst resident footprint any run reached.
+  long jobs_admitted = 0;        // jobs ingested from the JobSource
+  long jobs_retired = 0;         // completed jobs folded into records
+  long peak_resident_jobs = 0;   // high-water mark of admitted - retired
+  long peak_resident_tasks = 0;  // high-water mark of resident task count
+  // Due arrivals held back because admission would cross a resident
+  // ceiling. Streaming runs are bit-identical to batch only while this
+  // stays 0 — a deferral shifts the job's effective arrival.
+  long stream_deferrals = 0;
+
   PerfCounters& operator+=(const PerfCounters& o) {
     score_evals += o.score_evals;
     probes_issued += o.probes_issued;
@@ -52,6 +64,15 @@ struct PerfCounters {
     avail_recomputes += o.avail_recomputes;
     parallel_passes += o.parallel_passes;
     reduction_nanos += o.reduction_nanos;
+    jobs_admitted += o.jobs_admitted;
+    jobs_retired += o.jobs_retired;
+    peak_resident_jobs = peak_resident_jobs > o.peak_resident_jobs
+                             ? peak_resident_jobs
+                             : o.peak_resident_jobs;
+    peak_resident_tasks = peak_resident_tasks > o.peak_resident_tasks
+                              ? peak_resident_tasks
+                              : o.peak_resident_tasks;
+    stream_deferrals += o.stream_deferrals;
     if (shard_score_evals.size() < o.shard_score_evals.size())
       shard_score_evals.resize(o.shard_score_evals.size(), 0);
     for (std::size_t i = 0; i < o.shard_score_evals.size(); ++i)

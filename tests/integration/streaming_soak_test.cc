@@ -1,0 +1,166 @@
+// Memory-ceiling soak for the streaming engine (`ctest -L soak`): a long
+// synthetic stream runs under a small resident cap and the
+// util::PerfCounters high-water marks must prove the cap held, while the
+// retired-job aggregates folded into SimResult on the fly must equal what
+// a batch run of the same workload computes after the fact.
+//
+// The default stream is ~200K tasks so the label stays affordable in the
+// default preset; set TETRIS_SOAK_TASKS (e.g. 1000000) to scale the main
+// soak up — the assertions are scale-invariant.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "core/tetris_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/profiles.h"
+#include "workload/stream_gen.h"
+
+namespace tetris {
+namespace {
+
+long soak_tasks() {
+  if (const char* env = std::getenv("TETRIS_SOAK_TASKS")) {
+    const long v = std::atol(env);
+    if (v > 0) return v;
+  }
+  return 200'000;
+}
+
+workload::StreamGenConfig stream_config(long tasks) {
+  workload::StreamGenConfig gen;
+  // ~125 tasks per job (100 map + ~25 reduce at the default width).
+  gen.num_jobs = std::max(1L, tasks / 125);
+  gen.num_machines = 20;
+  gen.seed = 42;
+  // ~2/3 offered load so the resident window stays flat (see
+  // bench_streaming.cc for the sizing arithmetic).
+  gen.arrival_spacing = 1300.0 / (0.65 * 16.0 * gen.num_machines);
+  return gen;
+}
+
+sim::SimConfig soak_sim_config() {
+  sim::SimConfig cfg;
+  cfg.num_machines = 20;
+  cfg.machine_capacity = workload::facebook_machine();
+  cfg.tracker = sim::TrackerMode::kUsage;
+  cfg.stream.enabled = true;
+  cfg.stream.max_resident_jobs = 32;
+  cfg.stream.max_resident_tasks = 32 * 200;
+  cfg.max_time = 1e9;
+  return cfg;
+}
+
+TEST(StreamingSoakTest, ResidentCeilingHoldsOverALongStream) {
+  const long tasks = soak_tasks();
+  workload::StreamGenConfig gen = stream_config(tasks);
+  workload::SyntheticJobSource source(gen);
+
+  sim::SimConfig cfg = soak_sim_config();
+  // Flat-memory mode: no per-task records, job records folded and dropped.
+  cfg.collect_task_records = false;
+  cfg.stream.drop_job_records = true;
+
+  core::TetrisScheduler sched(core::TetrisConfig{});
+  const sim::SimResult r = sim::simulate_stream(cfg, source, sched);
+
+  EXPECT_TRUE(r.completed);
+  const auto& p = r.perf;
+  EXPECT_EQ(p.jobs_admitted, gen.num_jobs);
+  EXPECT_EQ(p.jobs_retired, gen.num_jobs);
+  // The ceiling is the contract: the gate must never have let the
+  // resident set past the caps, whatever the stream length.
+  EXPECT_GT(p.peak_resident_jobs, 0);
+  EXPECT_LE(p.peak_resident_jobs, cfg.stream.max_resident_jobs);
+  EXPECT_GT(p.peak_resident_tasks, 0);
+  EXPECT_LE(p.peak_resident_tasks, cfg.stream.max_resident_tasks);
+  // At 2/3 load the steady window sits far below the cap, so admission
+  // never had to hold a due job back — the run is bit-faithful.
+  EXPECT_EQ(p.stream_deferrals, 0);
+  // Aggregates survive record dropping.
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_EQ(r.pass_latency.count(),
+            static_cast<std::uint64_t>(r.scheduler_cost.invocations));
+}
+
+TEST(StreamingSoakTest, RetiredAggregatesMatchBatchRun) {
+  // Small enough to afford the batch oracle, long enough to cycle the
+  // resident window many times under the 32-job cap.
+  workload::StreamGenConfig gen = stream_config(30'000);
+  const sim::Workload w = workload::materialize_stream(gen);
+
+  sim::SimConfig cfg = soak_sim_config();
+  core::TetrisScheduler batch_sched(core::TetrisConfig{});
+  sim::SimConfig batch_cfg = cfg;
+  batch_cfg.stream.enabled = false;
+  const sim::SimResult batch = sim::simulate(batch_cfg, w, batch_sched);
+
+  workload::SyntheticJobSource source(gen);
+  core::TetrisScheduler stream_sched(core::TetrisConfig{});
+  const sim::SimResult stream =
+      sim::simulate_stream(cfg, source, stream_sched);
+
+  ASSERT_EQ(stream.perf.stream_deferrals, 0);
+  EXPECT_LE(stream.perf.peak_resident_jobs, cfg.stream.max_resident_jobs);
+
+  // The on-the-fly folds must equal batch's after-the-fact computation,
+  // exactly: makespan, end time, completion, and every job record.
+  EXPECT_EQ(batch.completed, stream.completed);
+  EXPECT_EQ(batch.end_time, stream.end_time);
+  EXPECT_EQ(batch.makespan, stream.makespan);
+  EXPECT_EQ(batch.avg_jct(), stream.avg_jct());
+  ASSERT_EQ(batch.jobs.size(), stream.jobs.size());
+  for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+    EXPECT_EQ(batch.jobs[i].id, stream.jobs[i].id) << "job " << i;
+    EXPECT_EQ(batch.jobs[i].arrival, stream.jobs[i].arrival) << "job " << i;
+    EXPECT_EQ(batch.jobs[i].finish, stream.jobs[i].finish) << "job " << i;
+    EXPECT_EQ(batch.jobs[i].total_tasks, stream.jobs[i].total_tasks)
+        << "job " << i;
+  }
+  ASSERT_EQ(batch.tasks.size(), stream.tasks.size());
+}
+
+TEST(StreamingSoakTest, TinyCapDefersButStillDrainsEveryJob) {
+  // A deliberately too-small ceiling: admission must hold due jobs back
+  // (counted as deferrals), yet every job still gets admitted, run and
+  // retired once space frees up — bounded memory degrades latency, never
+  // correctness.
+  workload::StreamGenConfig gen = stream_config(10'000);
+  workload::SyntheticJobSource source(gen);
+
+  sim::SimConfig cfg = soak_sim_config();
+  cfg.stream.max_resident_jobs = 2;
+  cfg.stream.max_resident_tasks = 1000;
+
+  core::TetrisScheduler sched(core::TetrisConfig{});
+  const sim::SimResult r = sim::simulate_stream(cfg, source, sched);
+
+  const auto& p = r.perf;
+  EXPECT_EQ(p.jobs_admitted, gen.num_jobs);
+  EXPECT_EQ(p.jobs_retired, gen.num_jobs);
+  EXPECT_LE(p.peak_resident_jobs, 2);
+  EXPECT_GT(p.stream_deferrals, 0);
+  EXPECT_TRUE(r.completed);
+  ASSERT_EQ(r.jobs.size(), static_cast<std::size_t>(gen.num_jobs));
+  for (const auto& j : r.jobs) {
+    EXPECT_GE(j.finish, j.arrival) << "job " << j.id;
+  }
+}
+
+TEST(StreamingSoakTest, OversizedJobIsRejectedUpFront) {
+  // A single job larger than the task ceiling can never be admitted;
+  // the gate must fail fast with a clear error instead of deadlocking.
+  workload::StreamGenConfig gen = stream_config(5'000);
+  workload::SyntheticJobSource source(gen);
+
+  sim::SimConfig cfg = soak_sim_config();
+  cfg.stream.max_resident_tasks = 10;  // every job exceeds this
+
+  core::TetrisScheduler sched(core::TetrisConfig{});
+  EXPECT_THROW(sim::simulate_stream(cfg, source, sched),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,45 @@
+// Writes a synthetic job stream (workload/stream_gen.h) to a binary trace
+// file (workload/trace_binary.h), one job at a time — generator and
+// writer are both streaming, so a 10M-task trace is produced in constant
+// memory. The file then feeds bench_streaming --trace=<file> or any
+// BinaryTraceReader consumer.
+//
+// Usage: make_stream_trace <out.bin> [jobs] [machines] [seed]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "workload/stream_gen.h"
+#include "workload/trace_binary.h"
+
+using namespace tetris;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: make_stream_trace <out.bin> [jobs] [machines] "
+                 "[seed]\n";
+    return 2;
+  }
+  workload::StreamGenConfig gen;
+  if (argc > 2) gen.num_jobs = std::atol(argv[2]);
+  if (argc > 3) gen.num_machines = std::atoi(argv[3]);
+  if (argc > 4) gen.seed = std::strtoull(argv[4], nullptr, 10);
+  gen.arrival_spacing = 1300.0 / (0.65 * 16.0 * gen.num_machines);
+
+  try {
+    workload::BinaryTraceWriter writer(argv[1]);
+    long tasks = 0;
+    for (long i = 0; i < gen.num_jobs; ++i) {
+      const sim::JobSpec job = workload::make_stream_job(gen, i);
+      for (const auto& s : job.stages) tasks += long(s.tasks.size());
+      writer.add(job);
+    }
+    writer.finalize();
+    std::cout << "wrote " << argv[1] << ": " << writer.jobs_written()
+              << " jobs, " << tasks << " tasks\n";
+  } catch (const std::exception& e) {
+    std::cerr << "make_stream_trace: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
