@@ -14,7 +14,8 @@
 //   machines ~ 10K pending tasks at t=0). Per-pass samples land in
 //   bench_results/table8_overheads.csv, counter totals in
 //   bench_results/table8_perf_counters.csv, the thread sweep in
-//   bench_results/table8_threads.csv and the trace on/off sweep in
+//   bench_results/table8_threads.csv, the SIMD on/off sweep in
+//   bench_results/table8_simd.csv and the trace on/off sweep in
 //   bench_results/table8_trace_overhead.csv. All rows are prefixed with
 //   scheduler,threads,trace so they are self-describing.
 #include <benchmark/benchmark.h>
@@ -27,6 +28,7 @@
 #include "analysis/export.h"
 #include "bench/harness.h"
 #include "core/demand_estimator.h"
+#include "core/score_kernel.h"
 #include "tracker/token_bucket.h"
 
 using namespace tetris;
@@ -278,6 +280,94 @@ void print_thread_scaling_table(const bench::Scale& heavy_scale,
   std::cout << t.to_string();
 }
 
+// SIMD sweep (DESIGN.md §12): the optimized pass with the SoA batch
+// kernel off vs on, serial and 8-thread, heavy scale. The kernel is
+// bit-identical to the scalar scan (the equivalence matrix enforces it;
+// spot-checked here on makespan), so the only moving number is pass
+// latency. The acceptance bar is >=1.5x on the heavy-backlog mean at the
+// 10K-task scale.
+void print_simd_table(const bench::Scale& heavy_scale,
+                      std::string* simd_csv) {
+  std::cout << "\nSIMD scoring kernel — scalar scan vs SoA batch kernel ("
+            << core::simd::isa_name() << ", "
+            << core::simd::lane_width()
+            << " lanes; DESIGN.md §12). Same workload, bit-identical "
+               "schedules; latency is the only difference.\n";
+  Table t({"threads", "simd", "passes", "mean pass (ms)",
+           "mean @ heavy backlog (ms)", "max pass (ms)", "simd blocks",
+           "scalar tail", "speedup @ heavy"});
+  *simd_csv =
+      "scheduler,threads,trace,simd,isa,lanes,backlog_tasks,passes,"
+      "mean_pass_ms,heavy_mean_pass_ms,max_pass_ms,score_evals,"
+      "simd_blocks,scalar_tail_evals,heavy_speedup,makespan\n";
+
+  const sim::Workload w =
+      bench::facebook_workload(heavy_scale, /*arrival_window=*/0);
+  sim::SimConfig cfg = bench::facebook_cluster(heavy_scale);
+  cfg.collect_pass_samples = true;
+  const int cut =
+      static_cast<int>(0.5 * static_cast<double>(w.total_tasks()));
+
+  constexpr int kReps = 3;
+  for (const int threads : {0, 8}) {
+    double off_heavy_ms = 0;
+    double off_makespan = -1;
+    for (const core::SimdMode simd :
+         {core::SimdMode::kOff, core::SimdMode::kOn}) {
+      const bool on = simd == core::SimdMode::kOn;
+      sim::SimResult best;
+      for (int rep = 0; rep < kReps; ++rep) {
+        core::TetrisConfig tcfg;
+        tcfg.name = std::string("tetris-simd-") + (on ? "on" : "off");
+        tcfg.num_threads = threads;
+        tcfg.simd = simd;
+        sim::SimResult r = bench::run_tetris(cfg, w, tcfg);
+        if (rep == 0 || r.scheduler_cost.mean_seconds() <
+                            best.scheduler_cost.mean_seconds()) {
+          best = std::move(r);
+        }
+      }
+      bench::warn_if_incomplete(best);
+      if (!on) {
+        off_makespan = best.makespan;
+      } else if (best.makespan != off_makespan) {
+        std::cerr << "ERROR: simd=on schedule diverged from simd=off "
+                     "(makespan "
+                  << best.makespan << " vs " << off_makespan << ")\n";
+      }
+      const auto& c = best.scheduler_cost;
+      const auto [heavy_ms, heavy_n] = heavy_mean_ms(best, cut);
+      if (!on) off_heavy_ms = heavy_ms;
+      const double speedup =
+          on && heavy_ms > 0 ? off_heavy_ms / heavy_ms : 0.0;
+      t.add_row({threads == 0 ? "serial" : std::to_string(threads),
+                 on ? "on" : "off", std::to_string(c.invocations),
+                 format_double(c.mean_seconds() * 1e3, 3),
+                 format_double(heavy_ms, 3) + " (" +
+                     std::to_string(heavy_n) + "p)",
+                 format_double(c.max_seconds * 1e3, 3),
+                 std::to_string(best.perf.simd_blocks),
+                 std::to_string(best.perf.scalar_tail_evals),
+                 on ? format_double(speedup, 2) + "x" : "-"});
+      *simd_csv += std::string("tetris-simd-") + (on ? "on" : "off") + "," +
+                   std::to_string(threads) + ",0," + (on ? "1" : "0") + "," +
+                   std::string(core::simd::isa_name()) + "," +
+                   std::to_string(core::simd::lane_width()) + "," +
+                   std::to_string(w.total_tasks()) + "," +
+                   std::to_string(c.invocations) + "," +
+                   format_double(c.mean_seconds() * 1e3, 4) + "," +
+                   format_double(heavy_ms, 4) + "," +
+                   format_double(c.max_seconds * 1e3, 4) + "," +
+                   std::to_string(best.perf.score_evals) + "," +
+                   std::to_string(best.perf.simd_blocks) + "," +
+                   std::to_string(best.perf.scalar_tail_evals) + "," +
+                   format_double(speedup, 3) + "," +
+                   format_double(best.makespan, 3) + "\n";
+    }
+  }
+  std::cout << t.to_string();
+}
+
 // Trace-overhead sweep (DESIGN.md §10): the optimized pass with event
 // tracing off vs on, serial and 8-thread, heavy scale. Tracing must not
 // change decisions (spot-checked on makespan; the replay tests enforce
@@ -385,6 +475,10 @@ int main(int argc, char** argv) {
   std::string threads_csv;
   print_thread_scaling_table(scale, &threads_csv);
   write_file("bench_results/table8_threads.csv", threads_csv);
+
+  std::string simd_csv;
+  print_simd_table(scale, &simd_csv);
+  write_file("bench_results/table8_simd.csv", simd_csv);
 
   std::string trace_csv;
   print_trace_overhead_table(scale, &trace_csv);

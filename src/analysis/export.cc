@@ -100,7 +100,8 @@ std::string perf_counters_csv(const RunTag& tag,
           "score_evals,probes_issued,probe_reuses,sticky_rejects,"
           "fit_index_skips,row_skips,probe_cache_hits,probe_cache_misses,"
           "estimate_cache_hits,estimate_cache_misses,avail_cache_hits,"
-          "avail_recomputes,parallel_passes,reduction_seconds,shard_evals\n";
+          "avail_recomputes,simd_blocks,scalar_tail_evals,"
+          "parallel_passes,reduction_seconds,shard_evals\n";
   }
   const auto& p = result.perf;
   os << tag_prefix(tag) << "," << p.score_evals << "," << p.probes_issued << ","
@@ -109,6 +110,7 @@ std::string perf_counters_csv(const RunTag& tag,
      << p.probe_cache_misses << ","
      << p.estimate_cache_hits << "," << p.estimate_cache_misses << ","
      << p.avail_cache_hits << "," << p.avail_recomputes << ","
+     << p.simd_blocks << "," << p.scalar_tail_evals << ","
      << p.parallel_passes << ","
      << static_cast<double>(p.reduction_nanos) * 1e-9 << ",";
   // Per-shard score_evals as a ';'-joined list (empty for serial runs) so

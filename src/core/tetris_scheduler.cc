@@ -1,18 +1,39 @@
 #include "core/tetris_scheduler.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "core/score_kernel.h"
 #include "sched/common.h"
 #include "trace/event.h"
 #include "trace/recorder.h"
+#include "util/soa_planes.h"
 
 namespace tetris::core {
+
+SimdMode simd_mode_from_string(std::string_view s) {
+  if (s == "off") return SimdMode::kOff;
+  if (s == "on") return SimdMode::kOn;
+  throw std::invalid_argument("simd mode must be \"off\" or \"on\", got \"" +
+                              std::string(s) + "\"");
+}
+
+std::string_view simd_mode_name(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kOff:
+      return "off";
+    case SimdMode::kOn:
+      return "on";
+  }
+  return "?";
+}
 
 TetrisScheduler::TetrisScheduler(TetrisConfig config)
     : config_(std::move(config)) {
@@ -32,6 +53,12 @@ TetrisScheduler::TetrisScheduler(TetrisConfig config)
     throw std::invalid_argument("preemption_deficit must be in (0, 1]");
   if (config_.num_threads < 0)
     throw std::invalid_argument("num_threads must be >= 0");
+  // Configs built from parsed knobs can smuggle any integer into the
+  // enum; reject everything but the named modes so a typo'd sweep fails
+  // loudly instead of silently scoring scalar (mirrors num_threads).
+  if (config_.simd != SimdMode::kOff && config_.simd != SimdMode::kOn)
+    throw std::invalid_argument(
+        "simd must be SimdMode::kOff or SimdMode::kOn");
 }
 
 void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
@@ -76,6 +103,22 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
 
   std::unordered_map<sim::JobId, std::size_t> job_index;
   for (std::size_t i = 0; i < jobs.size(); ++i) job_index[jobs[i].id] = i;
+
+  // Scan-shape selectors, hoisted ahead of the eligibility machinery so
+  // the waved path can pick its flat-array variants from the start.
+  const bool naive = config_.naive_scoring;
+  const int num_machines = ctx.num_machines();
+  const std::size_t num_groups = groups.size();
+  const bool use_simd = !naive && config_.simd == SimdMode::kOn;
+  const int num_shards =
+      config_.num_threads > 0 ? std::min(config_.num_threads, num_machines)
+                              : 0;
+  const bool parallel = num_shards > 0;
+  // The wave-structured scan runs for parallel passes (shards scanned by
+  // the pool) and for serial SIMD passes (one full-width shard scanned
+  // inline): batching needs the deferred best-update that the §9 waves
+  // already make exact.
+  const bool waved = parallel || use_simd;
 
   // Mean remaining work over active jobs: the p_bar of eps = a_bar/p_bar.
   double p_bar = 0;
@@ -145,6 +188,82 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     return out;
   };
 
+  // Waved-path refresh of the same eligibility cut, flat. The fairness
+  // comparator is a total order — share, then arrival, then id — so the
+  // set of jobs ahead of the cut is unique no matter how it is computed:
+  // an nth_element partition plus a byte-mask fill gives bit-identical
+  // answers to eligible_jobs() without the per-round JobView copies, the
+  // full sort, or the hash-set build. At 10K-task backlogs this runs once
+  // per placement round and was a top-three term in pass latency.
+  struct EligKey {
+    double share;
+    SimTime arrival;
+    sim::JobId id;
+    std::uint32_t idx;
+  };
+  std::vector<EligKey> elig_keys;
+  std::vector<unsigned char> eligible_job(waved ? jobs.size() : 0);
+  std::size_t eligible_count = 0;
+  sim::JobView share_scratch;  // job_share reads only current_alloc
+  // Per-job share cache: `jobs` is a pass-long snapshot and extra[i]
+  // moves only for the job a round places, so every other job's share is
+  // the same double at the next refresh — recompute just the stale one.
+  std::vector<double> share_val(waved ? jobs.size() : 0);
+  std::vector<unsigned char> share_fresh(waved ? jobs.size() : 0, 0);
+  const auto refresh_eligible_waved = [&] {
+    std::fill(eligible_job.begin(), eligible_job.end(), 0);
+    eligible_count = 0;
+    if (config_.fairness_knob > 0 && config_.fairness_over_queues) {
+      // Queue granularity aggregates shares across jobs; it is rare and
+      // off the hot path, so reuse the generic set computation and
+      // project it onto the mask.
+      const auto out = eligible_jobs();
+      for (const sim::JobId id : out) eligible_job[job_index.at(id)] = 1;
+      eligible_count = out.size();
+      return;
+    }
+    elig_keys.clear();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (jobs[i].runnable_tasks - placed_from[i] <= 0) continue;
+      if (config_.fairness_knob <= 0) {
+        eligible_job[i] = 1;
+        eligible_count++;
+        continue;
+      }
+      // Same arithmetic as eligible_jobs(): copy, then +=, so the share
+      // key is the identical double.
+      if (!share_fresh[i]) {
+        share_scratch.current_alloc = jobs[i].current_alloc;
+        share_scratch.current_alloc += extra[i];
+        share_val[i] =
+            sched::job_share(config_.fairness_policy, share_scratch,
+                             ctx.cluster_capacity(), config_.slot_mem);
+        share_fresh[i] = 1;
+      }
+      elig_keys.push_back({share_val[i], jobs[i].arrival, jobs[i].id,
+                           static_cast<std::uint32_t>(i)});
+    }
+    if (config_.fairness_knob <= 0) return;
+    const auto cut = static_cast<std::size_t>(std::max(
+        1.0, std::ceil((1.0 - config_.fairness_knob) *
+                       static_cast<double>(elig_keys.size()))));
+    const std::size_t take = std::min(cut, elig_keys.size());
+    if (take < elig_keys.size()) {
+      std::nth_element(elig_keys.begin(),
+                       elig_keys.begin() + static_cast<long>(take),
+                       elig_keys.end(),
+                       [](const EligKey& x, const EligKey& y) {
+                         if (x.share != y.share) return x.share < y.share;
+                         if (x.arrival != y.arrival)
+                           return x.arrival < y.arrival;
+                         return x.id < y.id;
+                       });
+    }
+    for (std::size_t k = 0; k < take; ++k)
+      eligible_job[elig_keys[k].idx] = 1;
+    eligible_count = take;
+  };
+
   const auto fits = [&](const sim::Probe& p) {
     const Resources avail = ctx.available(p.machine);
     if (config_.only_cpu_mem) return sched::fits_cpu_mem(p.demand, avail);
@@ -199,7 +318,13 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     }
   }
 
-  auto eligible = eligible_jobs();
+  // The serial loop probes an unordered_set per row; the waved scan reads
+  // the byte mask (same answers, no hashing) and skips the set entirely.
+  std::unordered_set<sim::JobId> eligible;
+  if (waved)
+    refresh_eligible_waved();
+  else
+    eligible = eligible_jobs();
 
   // Globally greedy rounds over all <task-group, machine> pairs: the paper
   // "picks the <task, machine> pair with the highest dot product value".
@@ -223,21 +348,41 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // None of them changes which cells get *scored*, so the eps normalizer
   // accumulation (alignment_sum_/alignment_count_) — and with it every
   // placement — matches the naive path bit for bit.
-  const bool naive = config_.naive_scoring;
-  const int num_machines = ctx.num_machines();
-  const std::size_t num_groups = groups.size();
-  struct Cell {
-    sim::Probe probe;
-    double alignment = 0;
-    bool fresh = false;     // probe + alignment are up to date
-    bool rejected = false;  // does not fit; sticky until invalidated
-    bool probe_ok = false;  // probe matches the group's candidate set
-    bool sticky = false;    // rejection is monotone in availability
+  // SIMD batch path (DESIGN.md §12): cells are refreshed in two phases —
+  // bookkeeping + probe first, then the fused fit + alignment in
+  // vector-width blocks — so it reuses the §9 wave structure (already
+  // proven bit-identical to the serial interleaved scan) even when
+  // single-threaded. The naive oracle never batches.
+  // SoA views over availability and capacity; null for contexts that do
+  // not maintain them, in which case batches gather per machine through
+  // the virtuals — same values, just slower.
+  const util::ResourcePlanes* avail_planes =
+      use_simd ? ctx.availability_planes() : nullptr;
+  const util::ResourcePlanes* cap_planes =
+      use_simd ? ctx.capacity_planes() : nullptr;
+  // Persistent SoA cell matrix (members, see tetris_scheduler.h): ensure
+  // capacity, then reset only the per-pass scan flags. Slots keep their
+  // probes' heap buffers; flags are four byte-plane fills instead of a
+  // full matrix reconstruction per pass.
+  const std::size_t num_cells =
+      num_groups * static_cast<std::size_t>(num_machines);
+  if (cell_slots_.size() < num_cells) {
+    cell_slots_.resize(num_cells);
+    cell_fresh_.resize(num_cells);
+    cell_rejected_.resize(num_cells);
+    cell_probe_ok_.resize(num_cells);
+    cell_sticky_.resize(num_cells);
+  }
+  std::fill_n(cell_fresh_.begin(), num_cells, 0);
+  std::fill_n(cell_rejected_.begin(), num_cells, 0);
+  std::fill_n(cell_probe_ok_.begin(), num_cells, 0);
+  std::fill_n(cell_sticky_.begin(), num_cells, 0);
+  const auto cidx = [num_machines](std::size_t g, int m) {
+    return g * static_cast<std::size_t>(num_machines) +
+           static_cast<std::size_t>(m);
   };
-  std::vector<Cell> cells(num_groups * static_cast<std::size_t>(num_machines));
-  const auto cell = [&](std::size_t g, int m) -> Cell& {
-    return cells[g * static_cast<std::size_t>(num_machines) +
-                 static_cast<std::size_t>(m)];
+  const auto cell = [&](std::size_t g, int m) -> CellSlot& {
+    return cell_slots_[cidx(g, m)];
   };
 
   // Count of fresh-and-rejected cells per row. When it reaches
@@ -247,9 +392,9 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // per-round cost from O(groups * machines) into O(groups).
   std::vector<int> row_rejected(num_groups, 0);
   const auto invalidate_column_cell = [&](std::size_t g, int m) {
-    Cell& c = cell(g, m);
-    if (c.fresh && c.rejected) row_rejected[g]--;
-    c.fresh = false;
+    const std::size_t ci = cidx(g, m);
+    if (cell_fresh_[ci] && cell_rejected_[ci]) row_rejected[g]--;
+    cell_fresh_[ci] = 0;
   };
 
   // Shared refresh core for the serial and the sharded scan. All mutable
@@ -264,18 +409,19 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
                                      util::PerfCounters& rpc,
                                      bool locally_drained, bool* drained,
                                      auto&& on_score) {
-    Cell& c = cell(g, m);
+    const std::size_t ci = cidx(g, m);
+    CellSlot& c = cell_slots_[ci];
     auto& group = groups[g];
-    if (!naive && c.rejected && c.sticky) {
+    if (!naive && cell_rejected_[ci] && cell_sticky_[ci]) {
       // The rejection was a fit test against availability that has only
       // fallen since (or a pass-constant condition): still rejected.
-      c.fresh = true;
+      cell_fresh_[ci] = 1;
       rpc.sticky_rejects++;
       return;
     }
-    c.fresh = true;
-    c.rejected = true;
-    c.sticky = true;
+    cell_fresh_[ci] = 1;
+    cell_rejected_[ci] = 1;
+    cell_sticky_[ci] = 1;
     if (group.runnable <= 0 || locally_drained) return;
     // A down machine admits nothing; bail before probing — an invalid
     // probe below means "group drained", which a churn outage is not.
@@ -283,15 +429,15 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     const Resources avail = ctx.available(m);
     // Cheap exact reject on the placement-independent dimensions.
     if (!sched::fits_cpu_mem(group.est_demand, avail)) return;
-    if (naive || !c.probe_ok) {
-      sim::Probe p = ctx.probe(group.ref, m);
+    if (naive || !cell_probe_ok_[ci]) {
+      // In place: the cell's remote-leg buffer keeps its capacity.
+      ctx.probe_into(group.ref, m, &c.probe);
       rpc.probes_issued++;
-      if (!p.valid) {
+      if (!c.probe.valid) {
         *drained = true;
         return;
       }
-      c.probe = std::move(p);
-      c.probe_ok = true;
+      cell_probe_ok_[ci] = 1;
     } else {
       rpc.probe_reuses++;
     }
@@ -304,8 +450,8 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     rpc.score_evals++;
     on_score(std::abs(a));
     c.alignment = a;
-    c.rejected = false;
-    c.sticky = false;
+    cell_rejected_[ci] = 0;
+    cell_sticky_[ci] = 0;
   };
   const auto refresh_cell = [&](std::size_t g, int m) {
     bool drained = false;
@@ -317,6 +463,49 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     if (drained) groups[g].runnable = 0;
   };
 
+  // Phase-A half of a refresh under the SIMD path: everything
+  // refresh_cell_with does up to the score itself — the sticky shortcut,
+  // rejected-until-proven marking, runnable/up checks, the cheap cpu/mem
+  // reject, the probe, and the full admission test. Returns true iff the
+  // cell passed admission and its alignment must come from the score
+  // batch. Gating on the scalar `fits` here keeps the batch dense: a
+  // cell the serial loop rejects with a component compare never pays the
+  // gather + vector-lane cost (the kernel's own fused mask still covers
+  // its lanes, it just never fires on pre-admitted input).
+  const auto prepare_cell = [&](std::size_t g, int m,
+                                util::PerfCounters& rpc, bool locally_drained,
+                                bool* drained) -> bool {
+    const std::size_t ci = cidx(g, m);
+    CellSlot& c = cell_slots_[ci];
+    auto& group = groups[g];
+    if (cell_rejected_[ci] && cell_sticky_[ci]) {  // never runs naive
+      cell_fresh_[ci] = 1;
+      rpc.sticky_rejects++;
+      return false;
+    }
+    cell_fresh_[ci] = 1;
+    cell_rejected_[ci] = 1;
+    cell_sticky_[ci] = 1;
+    if (group.runnable <= 0 || locally_drained) return false;
+    if (!ctx.machine_up(m)) return false;
+    if (!sched::fits_cpu_mem(group.est_demand, ctx.available(m))) return false;
+    if (!cell_probe_ok_[ci]) {
+      ctx.probe_into(group.ref, m, &c.probe);
+      rpc.probes_issued++;
+      if (!c.probe.valid) {
+        *drained = true;
+        return false;
+      }
+      cell_probe_ok_[ci] = 1;
+    } else {
+      rpc.probe_reuses++;
+    }
+    // Full admission, exactly the serial scan's test: a failing cell
+    // stays rejected-and-sticky and never reaches the kernel.
+    if (!fits(c.probe)) return false;
+    return true;
+  };
+
   // Free-capacity index: component-wise max availability over up
   // machines. fits_cpu_mem failing against it implies the same failure
   // against every individual machine (the predicate is monotone per
@@ -324,13 +513,37 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // Fresh non-rejected cells cannot hide behind a skip: their machine's
   // availability is unchanged since they were scored (place() invalidates
   // the columns it drains), and the index dominates it.
+  // Per-group estimated-demand planes and the row fit mask derived from
+  // them (SIMD path only): fits_cpu_mem of every row against the fit
+  // index in one vector sweep per recompute, instead of a scalar
+  // predicate call per row per round. est_demand is pass-constant, so the
+  // planes are built once.
+  util::ResourcePlanes group_demand;
+  std::vector<unsigned char> row_fit;
+  if (use_simd) {
+    group_demand.reset(num_groups);
+    for (std::size_t g = 0; g < num_groups; ++g)
+      group_demand.set(g, groups[g].est_demand);
+    row_fit.assign(group_demand.padded_lanes(), 0);
+  }
   Resources max_avail;
   const auto recompute_fit_index = [&]() {
-    max_avail = Resources{};
-    for (int m = 0; m < num_machines; ++m) {
-      if (!ctx.machine_up(m)) continue;
-      max_avail = max_avail.cwise_max(ctx.available(m));
+    if (use_simd && avail_planes != nullptr) {
+      // Down machines hold zero in the availability planes and every
+      // plane value is >= 0 (max_zero'd), so folding them in is exact;
+      // lanes past num_machines are rack uplinks and stay excluded, as
+      // in the scalar loop.
+      max_avail = simd::cwise_max_lanes(*avail_planes,
+                                        static_cast<std::size_t>(num_machines));
+    } else {
+      max_avail = Resources{};
+      for (int m = 0; m < num_machines; ++m) {
+        if (!ctx.machine_up(m)) continue;
+        max_avail = max_avail.cwise_max(ctx.available(m));
+      }
     }
+    if (use_simd)
+      simd::fits_cpu_mem_mask(group_demand, max_avail, row_fit.data());
   };
   if (!naive) recompute_fit_index();
 
@@ -398,10 +611,6 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // best) is merged serially at the barrier, in shard order, so the
   // outcome is independent of worker interleaving — and, by the ordered
   // replay below, bit-identical to the serial scan.
-  const int num_shards =
-      config_.num_threads > 0 ? std::min(config_.num_threads, num_machines)
-                              : 0;
-  const bool parallel = num_shards > 0;
   if (parallel && !pool_)
     pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
   // One scored cell: |alignment| destined for the eps normalizer. Within
@@ -414,6 +623,18 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     std::size_t g;
     double abs_a;
   };
+  // One cell whose fused fit + score evaluation is deferred to a batch
+  // flush, and one cell to revisit in the post-flush candidate scan;
+  // both lists keep the (row, column) scan order.
+  struct PendingCell {
+    std::size_t g;
+    int m;
+  };
+  struct VisitCell {
+    std::size_t g;
+    int m;
+    double rem;  // the row's SRTF remaining-work term
+  };
   struct alignas(64) ShardState {
     int m_lo = 0;
     int m_hi = 0;
@@ -421,6 +642,8 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     std::vector<ScoreRecord> records;
     std::vector<int> rej_delta;   // per-row cells newly rejected this wave
     std::vector<char> drained;    // rows whose re-probe found no candidate
+    std::vector<PendingCell> pending;  // SIMD path: cells awaiting a flush
+    std::vector<VisitCell> visit;      // SIMD path: candidate-scan worklist
     bool has_best = false;
     double best_score = 0;
     std::size_t best_g = 0;
@@ -430,12 +653,13 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     // records; only measured while tracing (the clock reads cost).
     long long scan_nanos = 0;
   };
-  std::vector<ShardState> shards(static_cast<std::size_t>(num_shards));
-  if (parallel) {
-    const int base = num_machines / num_shards;
-    const int rem = num_machines % num_shards;
+  const int wave_shards = parallel ? num_shards : (waved ? 1 : 0);
+  std::vector<ShardState> shards(static_cast<std::size_t>(wave_shards));
+  if (waved) {
+    const int base = num_machines / wave_shards;
+    const int rem = num_machines % wave_shards;
     int lo = 0;
-    for (int s = 0; s < num_shards; ++s) {
+    for (int s = 0; s < wave_shards; ++s) {
       auto& st = shards[static_cast<std::size_t>(s)];
       st.m_lo = lo;
       st.m_hi = lo + base + (s < rem ? 1 : 0);
@@ -443,10 +667,90 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       st.rej_delta.assign(num_groups, 0);
       st.drained.assign(num_groups, 0);
     }
+  }
+  if (parallel) {
     pc.parallel_passes++;
     pc.shard_score_evals.assign(static_cast<std::size_t>(num_shards), 0);
   }
-  std::vector<int> tier_by_row(parallel ? num_groups : 0);
+  // Waved-scan row metadata, flat arrays instead of per-row hash probes.
+  // The serial loop pays tier_of's `last_placement_` lookup and the
+  // eligibility set probe per row per round; at 10K-task backlogs that
+  // bookkeeping dwarfs the scoring itself. Tiers move only through
+  // placements (`last_placement_` / runnable), so the waved path computes
+  // them once per pass and refreshes just the placed row; the eligibility
+  // byte mask is rebuilt by refresh_eligible_waved only when the serial
+  // loop would rebuild its set. All of it is exact: same tier values,
+  // same eligibility answers, same counters — only the lookups are
+  // cheaper.
+  std::vector<int> tier_by_row(waved ? num_groups : 0);
+  std::vector<std::uint32_t> row_job(waved ? num_groups : 0);
+  if (waved) {
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      tier_by_row[g] = tier_of(groups[g]);
+      row_job[g] =
+          static_cast<std::uint32_t>(job_index.at(groups[g].ref.job));
+    }
+  }
+  // Rows of each tier in ascending order, rebuilt per round in one O(G)
+  // sweep so each wave walks only its own rows.
+  std::array<std::vector<std::size_t>, 3> tier_rows;
+
+  // Drains a shard's pending cells through the vector kernel in scan
+  // order, lane_width() lanes per block. Every pending cell already
+  // passed the full scalar admission in Phase A, so each lane scores
+  // exactly as the scalar path would: same counter bump, same on_score
+  // value, same cell writeback — and its provisional rejection is
+  // undone. The kernel's fused fit mask is a no-op on this input by the
+  // lane-for-lane identity with the scalar predicates (unit-tested); it
+  // stays as a guard.
+  const auto flush_pending = [&](ShardState& st, auto&& on_score) {
+    const auto width = static_cast<std::size_t>(simd::lane_width());
+    simd::ScoreBlock block;
+    simd::ScoreOut res;
+    std::size_t i = 0;
+    while (i < st.pending.size()) {
+      const std::size_t n = std::min(width, st.pending.size() - i);
+      for (std::size_t l = 0; l < n; ++l) {
+        const auto [g, m] = st.pending[i + l];
+        const CellSlot& c = cell(g, m);
+        for (std::size_t r = 0; r < kNumResources; ++r)
+          block.demand[r][l] = c.probe.demand.at(r);
+        if (avail_planes != nullptr && cap_planes != nullptr) {
+          for (std::size_t r = 0; r < kNumResources; ++r) {
+            block.avail[r][l] =
+                avail_planes->plane(r)[static_cast<std::size_t>(m)];
+            block.cap[r][l] = cap_planes->plane(r)[static_cast<std::size_t>(m)];
+          }
+        } else {
+          const Resources av = ctx.available(m);
+          const Resources cp = ctx.capacity(m);
+          for (std::size_t r = 0; r < kNumResources; ++r) {
+            block.avail[r][l] = av.at(r);
+            block.cap[r][l] = cp.at(r);
+          }
+        }
+        block.local_fraction[l] = c.probe.local_fraction;
+      }
+      block.n = n;
+      simd::score_block(config_.alignment, config_.remote_penalty,
+                        config_.only_cpu_mem, block, &res, &st.pc.simd_blocks,
+                        &st.pc.scalar_tail_evals);
+      for (std::size_t l = 0; l < n; ++l) {
+        const auto [g, m] = st.pending[i + l];
+        if (!res.fit[l]) continue;
+        const std::size_t ci = cidx(g, m);
+        const double a = res.score[l];
+        st.pc.score_evals++;
+        on_score(g, std::abs(a));
+        cell_slots_[ci].alignment = a;
+        cell_rejected_[ci] = 0;
+        cell_sticky_[ci] = 0;
+        st.rej_delta[g]--;  // provisional rejection undone
+      }
+      i += n;
+    }
+    st.pending.clear();
+  };
   struct ScanRow {
     std::size_t g;
     double rem;  // the job's remaining work, for the SRTF term
@@ -469,12 +773,12 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     std::vector<std::vector<std::pair<double, double>>> claims;
     if (!imminent_demands.empty()) claims = future_claims();
 
-    Cell* best = nullptr;
+    std::ptrdiff_t best_ci = -1;  // index into cell_slots_, -1 = none
     std::size_t best_group = 0;
     double best_score = 0;
     int best_tier = -1;
 
-    if (!parallel) {
+    if (!waved) {
       for (std::size_t g = 0; g < num_groups; ++g) {
         auto& group = groups[g];
         if (group.runnable <= 0) continue;
@@ -507,12 +811,13 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
         for (int m = 0; m < num_machines; ++m) {
           // A reserved machine only accepts the starved tier.
           if (m == reserved_machine && tier < 2) continue;
-          Cell& c = cell(g, m);
-          if (!c.fresh) {
+          const std::size_t ci = cidx(g, m);
+          if (!cell_fresh_[ci]) {
             refresh_cell(g, m);
-            if (c.rejected) row_rejected[g]++;
+            if (cell_rejected_[ci]) row_rejected[g]++;
           }
-          if (c.rejected) continue;
+          if (cell_rejected_[ci]) continue;
+          const CellSlot& c = cell_slots_[ci];
           // Future hold-back: a better-aligned stage unblocks here before
           // this (longer) candidate would release the resources.
           if (tier == 0 && !claims.empty()) {
@@ -527,9 +832,9 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
             if (held) continue;
           }
           const double score = c.alignment - round_eps * rem;
-          if (best == nullptr || tier > best_tier ||
+          if (best_ci < 0 || tier > best_tier ||
               (tier == best_tier && score > best_score)) {
-            best = &c;
+            best_ci = static_cast<std::ptrdiff_t>(ci);
             best_group = g;
             best_score = score;
             best_tier = tier;
@@ -543,21 +848,32 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       // rows up to `cutoff` — the first candidate-producing row of any
       // higher wave — and the scanned set (hence every refresh, score and
       // eps-normalizer contribution) matches the serial scan exactly.
-      for (std::size_t g = 0; g < num_groups; ++g)
-        tier_by_row[g] = tier_of(groups[g]);
       round_records.clear();
+      // One O(G) sweep buckets the runnable rows by (cached) tier; each
+      // wave then walks only its own rows. A wave's barrier can zero
+      // `runnable` only for rows of its own tier, so checking it here,
+      // once per round, is exact.
+      for (auto& rows : tier_rows) rows.clear();
+      for (std::size_t g = 0; g < num_groups; ++g) {
+        if (groups[g].runnable <= 0) continue;
+        tier_rows[static_cast<std::size_t>(tier_by_row[g])].push_back(g);
+      }
       std::size_t cutoff = num_groups;
       for (int tier = 2; tier >= 0; --tier) {
         // Row filters, in the serial loop's order and with its counters;
         // row_rejected and group.runnable are barrier-stable, so this
         // pre-pass is exact.
         scan_rows.clear();
-        for (std::size_t g = 0; g < num_groups; ++g) {
+        for (const std::size_t g : tier_rows[static_cast<std::size_t>(tier)]) {
           auto& group = groups[g];
-          if (group.runnable <= 0 || tier_by_row[g] != tier) continue;
-          if (tier == 0 && !eligible.contains(group.ref.job)) continue;
+          if (tier == 0 && !eligible_job[row_job[g]]) continue;
           if (g >= cutoff) continue;
-          if (!naive && !sched::fits_cpu_mem(group.est_demand, max_avail)) {
+          // Under SIMD the row fit mask is the same predicate, evaluated
+          // by the vector sweep at the last fit-index recompute.
+          if (!naive && (use_simd
+                             ? !row_fit[g]
+                             : !sched::fits_cpu_mem(group.est_demand,
+                                                    max_avail))) {
             pc.fit_index_skips += num_machines;
             continue;
           }
@@ -565,41 +881,107 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
             pc.row_skips += num_machines;
             continue;
           }
-          const double rem =
-              config_.srtf_weight > 0
-                  ? jobs[job_index.at(group.ref.job)].remaining_work
-                  : 0.0;
+          const double rem = config_.srtf_weight > 0
+                                 ? jobs[row_job[g]].remaining_work
+                                 : 0.0;
           scan_rows.push_back({g, rem});
         }
         if (scan_rows.empty()) continue;
 
-        pool_->parallel_for(num_shards, [&](int s) {
+        const auto scan_shard = [&](int s) {
           ShardState& st = shards[static_cast<std::size_t>(s)];
           const auto shard_start =
               tracer ? Clock::now() : Clock::time_point{};
           st.has_best = false;
           st.best_m = -1;
           st.first_candidate_row = num_groups;
-          for (const ScanRow& row : scan_rows) {
-            const std::size_t g = row.g;
-            for (int m = st.m_lo; m < st.m_hi; ++m) {
-              // A reserved machine only accepts the starved tier.
-              if (m == reserved_machine && tier < 2) continue;
-              Cell& c = cell(g, m);
-              if (!c.fresh) {
-                bool drained = false;
-                refresh_cell_with(g, m, st.pc, st.drained[g] != 0, &drained,
-                                  [&](double abs_a) {
-                                    st.records.push_back({g, abs_a});
-                                  });
-                if (drained) st.drained[g] = 1;
-                if (c.rejected) st.rej_delta[g]++;
+          if (!use_simd) {
+            for (const ScanRow& row : scan_rows) {
+              const std::size_t g = row.g;
+              for (int m = st.m_lo; m < st.m_hi; ++m) {
+                // A reserved machine only accepts the starved tier.
+                if (m == reserved_machine && tier < 2) continue;
+                const std::size_t ci = cidx(g, m);
+                if (!cell_fresh_[ci]) {
+                  bool drained = false;
+                  refresh_cell_with(g, m, st.pc, st.drained[g] != 0, &drained,
+                                    [&](double abs_a) {
+                                      st.records.push_back({g, abs_a});
+                                    });
+                  if (drained) st.drained[g] = 1;
+                  if (cell_rejected_[ci]) st.rej_delta[g]++;
+                }
+                if (cell_rejected_[ci]) continue;
+                const CellSlot& c = cell_slots_[ci];
+                if (tier == 0 && !claims.empty()) {
+                  bool held = false;
+                  for (const auto& [align, eta] :
+                       claims[static_cast<std::size_t>(m)]) {
+                    if (align > c.alignment && c.probe.duration > eta) {
+                      held = true;
+                      break;
+                    }
+                  }
+                  if (held) continue;
+                }
+                const double score = c.alignment - round_eps * row.rem;
+                if (st.first_candidate_row == num_groups)
+                  st.first_candidate_row = g;
+                // Strict > keeps the first-encountered candidate on score
+                // ties, as the serial scan does.
+                if (!st.has_best || score > st.best_score) {
+                  st.has_best = true;
+                  st.best_score = score;
+                  st.best_g = g;
+                  st.best_m = m;
+                }
               }
-              if (c.rejected) continue;
+            }
+          } else {
+            // SIMD path, three phases per wave. Phase A walks the wave's
+            // cells in scan order, does the Phase-A half of each stale
+            // cell's refresh, and provisionally counts it rejected;
+            // cells whose fit + score are pending join the batch list,
+            // and every potentially live cell joins the revisit list —
+            // both in walk order.
+            st.pending.clear();
+            st.visit.clear();
+            for (const ScanRow& row : scan_rows) {
+              const std::size_t g = row.g;
+              for (int m = st.m_lo; m < st.m_hi; ++m) {
+                if (m == reserved_machine && tier < 2) continue;
+                const std::size_t ci = cidx(g, m);
+                if (!cell_fresh_[ci]) {
+                  bool drained = false;
+                  const bool batch_me =
+                      prepare_cell(g, m, st.pc, st.drained[g] != 0, &drained);
+                  if (drained) st.drained[g] = 1;
+                  st.rej_delta[g]++;  // provisional; the flush undoes it
+                  if (batch_me) {
+                    st.pending.push_back({g, m});
+                    st.visit.push_back({g, m, row.rem});
+                  }
+                } else if (!cell_rejected_[ci]) {
+                  st.visit.push_back({g, m, row.rem});
+                }
+              }
+            }
+            // Phase B: fused fit + alignment over the batch, in scan
+            // order, recording eps contributions like the per-cell path.
+            flush_pending(st, [&](std::size_t g, double abs_a) {
+              st.records.push_back({g, abs_a});
+            });
+            // Phase C: candidate scan over the surviving cells — same
+            // hold-back, first-candidate and best-update rules as the
+            // interleaved walk, now over known alignments.
+            for (const VisitCell& v : st.visit) {
+              const std::size_t ci = cidx(v.g, v.m);
+              if (cell_rejected_[ci]) continue;
+              const CellSlot& c = cell_slots_[ci];
               if (tier == 0 && !claims.empty()) {
                 bool held = false;
                 for (const auto& [align, eta] :
-                     claims[static_cast<std::size_t>(m)]) {
+                     claims[static_cast<std::size_t>(v.m)]) {
                   if (align > c.alignment && c.probe.duration > eta) {
                     held = true;
                     break;
@@ -607,16 +989,14 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
                 }
                 if (held) continue;
               }
-              const double score = c.alignment - round_eps * row.rem;
+              const double score = c.alignment - round_eps * v.rem;
               if (st.first_candidate_row == num_groups)
-                st.first_candidate_row = g;
-              // Strict > keeps the first-encountered candidate on score
-              // ties, as the serial scan does.
+                st.first_candidate_row = v.g;
               if (!st.has_best || score > st.best_score) {
                 st.has_best = true;
                 st.best_score = score;
-                st.best_g = g;
-                st.best_m = m;
+                st.best_g = v.g;
+                st.best_m = v.m;
               }
             }
           }
@@ -626,12 +1006,19 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
                     Clock::now() - shard_start)
                     .count();
           }
-        });
+        };
+        if (parallel)
+          pool_->parallel_for(wave_shards, scan_shard);
+        else
+          scan_shard(0);
 
         // Reduction barrier: merge shard results in shard order. Nothing
         // here depends on worker timing, so the outcome is deterministic
-        // for any thread count.
-        const auto barrier_start = Clock::now();
+        // for any thread count. reduction_nanos stays a parallel-only
+        // counter — a serial SIMD pass runs the same merge but reports 0,
+        // preserving "serial runs spend nothing in reduction".
+        const auto barrier_start =
+            parallel ? Clock::now() : Clock::time_point{};
         for (auto& st : shards) {
           round_records.insert(round_records.end(), st.records.begin(),
                                st.records.end());
@@ -647,22 +1034,24 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
         // candidate holds the round's winner: the highest-scoring cell,
         // ties broken by lowest row then lowest column — exactly the
         // first-encountered rule of the serial row-major scan.
-        if (best == nullptr) {
+        if (best_ci < 0) {
           for (auto& st : shards) {
             if (!st.has_best) continue;
-            if (best == nullptr || st.best_score > best_score ||
+            if (best_ci < 0 || st.best_score > best_score ||
                 (st.best_score == best_score && st.best_g < best_group)) {
-              best = &cell(st.best_g, st.best_m);
+              best_ci = static_cast<std::ptrdiff_t>(cidx(st.best_g, st.best_m));
               best_group = st.best_g;
               best_score = st.best_score;
               best_tier = tier;
             }
           }
         }
-        pc.reduction_nanos +=
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                Clock::now() - barrier_start)
-                .count();
+        if (parallel) {
+          pc.reduction_nanos +=
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - barrier_start)
+                  .count();
+        }
       }
 
       // Ordered replay of the eps-normalizer accumulation: the serial
@@ -671,7 +1060,7 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       // of different waves are disjoint, so a stable sort by row restores
       // the exact serial addition order — FP addition is not associative,
       // and eps feeds every later round's scores.
-      const auto replay_start = Clock::now();
+      const auto replay_start = parallel ? Clock::now() : Clock::time_point{};
       std::stable_sort(round_records.begin(), round_records.end(),
                        [](const ScoreRecord& a, const ScoreRecord& b) {
                          return a.g < b.g;
@@ -681,32 +1070,35 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
         alignment_count_++;
       }
       for (std::size_t s = 0; s < shards.size(); ++s) {
-        pc.shard_score_evals[s] += shards[s].pc.score_evals;
+        if (parallel) pc.shard_score_evals[s] += shards[s].pc.score_evals;
         pc += shards[s].pc;
         shards[s].pc = util::PerfCounters{};
       }
-      pc.reduction_nanos +=
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              Clock::now() - replay_start)
-              .count();
+      if (parallel) {
+        pc.reduction_nanos +=
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - replay_start)
+                .count();
+      }
     }
 
-    if (best == nullptr) break;
+    if (best_ci < 0) break;
+    CellSlot& best = cell_slots_[static_cast<std::size_t>(best_ci)];
     // Re-validate against live availability: a cached probe's *remote*
     // legs may have been consumed by a placement on a third machine whose
     // column this cell does not share.
-    if (!fits(best->probe)) {
-      best->rejected = true;
+    if (!fits(best.probe)) {
+      cell_rejected_[static_cast<std::size_t>(best_ci)] = 1;
       row_rejected[best_group]++;
       continue;
     }
-    const sim::Probe placed = best->probe;
+    const sim::Probe placed = best.probe;
     if (!ctx.place(placed)) {
       // Stale probe: the candidate set changed under us. Not an
       // availability-monotone rejection — leave sticky unset and drop the
       // probe so the next refresh recomputes from scratch, as naive does.
-      best->rejected = true;
-      best->probe_ok = false;
+      cell_rejected_[static_cast<std::size_t>(best_ci)] = 1;
+      cell_probe_ok_[static_cast<std::size_t>(best_ci)] = 0;
       row_rejected[best_group]++;
       continue;
     }
@@ -725,16 +1117,28 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       ev.c = placed.task_index;
       ev.d = placed.machine;
       ev.e = best_tier;
-      ev.f = static_cast<std::int64_t>(eligible.size());
-      ev.x = best->alignment;
-      ev.y = best->alignment - best_score;  // eps * p_hat SRTF penalty
+      ev.f = static_cast<std::int64_t>(waved ? eligible_count
+                                             : eligible.size());
+      ev.x = best.alignment;
+      ev.y = best.alignment - best_score;  // eps * p_hat SRTF penalty
       tracer->record(ev);
     }
     last_placement_[group_key(placed.group)] = ctx.now();
     const auto ji = job_index.at(placed.group.job);
     extra[ji] += placed.demand;
     placed_from[ji]++;
-    if (config_.fairness_knob > 0) eligible = eligible_jobs();
+    if (waved) share_fresh[ji] = 0;  // its share key just moved
+    if (config_.fairness_knob > 0) {
+      if (waved)
+        refresh_eligible_waved();
+      else
+        eligible = eligible_jobs();
+    }
+    if (waved) {
+      // Only the placed row's tier can have moved (its last_placement_
+      // stamp just did); the cached tiers of every other row stand.
+      tier_by_row[best_group] = tier_of(groups[best_group]);
+    }
 
     // Invalidate what the placement changed: the group's candidate task,
     // the host machine's availability, and the remote sources' budgets.
@@ -743,11 +1147,11 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     // reflect fallen availability: cached probes stay valid (the probe is
     // availability-independent) and rejections stay sticky.
     for (int m = 0; m < num_machines; ++m) {
-      Cell& c = cell(best_group, m);
-      c.fresh = false;
-      c.probe_ok = false;
-      c.rejected = false;
-      c.sticky = false;
+      const std::size_t ci = cidx(best_group, m);
+      cell_fresh_[ci] = 0;
+      cell_probe_ok_[ci] = 0;
+      cell_rejected_[ci] = 0;
+      cell_sticky_[ci] = 0;
     }
     row_rejected[best_group] = 0;
     for (std::size_t g = 0; g < num_groups; ++g) {

@@ -26,7 +26,9 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "core/alignment.h"
 #include "sched/fairness.h"
@@ -36,6 +38,22 @@
 #include "util/units.h"
 
 namespace tetris::core {
+
+// Scoring-kernel selection (DESIGN.md §12). kOn routes the fused
+// fit-check + alignment evaluations through the structure-of-arrays
+// batch kernel (AVX2/SSE4.2 when the build carries them, portable scalar
+// otherwise); kOff keeps the per-cell scalar loop. Both produce
+// bit-identical schedules — the kernel reproduces the scalar op sequence
+// per lane — so this knob trades nothing but speed. The naive_scoring
+// oracle always scores scalar, whatever this says.
+enum class SimdMode {
+  kOff = 0,
+  kOn = 1,
+};
+
+// "off" / "on"; throws std::invalid_argument on anything else.
+SimdMode simd_mode_from_string(std::string_view s);
+std::string_view simd_mode_name(SimdMode mode);
 
 struct TetrisConfig {
   AlignmentKind alignment = AlignmentKind::kCosine;
@@ -116,6 +134,12 @@ struct TetrisConfig {
   // equivalence and determinism tests enforce.
   int num_threads = 0;
 
+  // Vectorized scoring kernel (DESIGN.md §12); see SimdMode above.
+  // Composes with num_threads: each column shard drains its own batches,
+  // and the §9 ordered replay keeps the eps-normalizer accumulation in
+  // the serial order either way.
+  SimdMode simd = SimdMode::kOn;
+
   std::string name = "tetris";
 };
 
@@ -163,6 +187,24 @@ class TetrisScheduler final : public sim::Scheduler {
   std::unordered_map<long long, double> last_placement_;
   // Highest retirement watermark already pruned from last_placement_.
   sim::JobId pruned_before_ = 0;
+  // Persistent <group, machine> cell matrix in structure-of-arrays form
+  // (DESIGN.md §12.5): the heavy payload (probe + alignment) lives in
+  // slots that survive across passes — so every probe keeps its
+  // remote-leg buffer capacity — while the per-pass scan flags are
+  // separate byte planes reset with four fills. Constructing and
+  // destroying the matrix each pass (megabytes of value-init plus a
+  // vector free per probed cell) was a top slice of pass latency.
+  // Rows are positional per pass; slot contents are only read after this
+  // pass's refresh, so stale payloads are never observed.
+  struct CellSlot {
+    sim::Probe probe;
+    double alignment = 0;
+  };
+  std::vector<CellSlot> cell_slots_;
+  std::vector<unsigned char> cell_fresh_;     // probe + alignment up to date
+  std::vector<unsigned char> cell_rejected_;  // does not fit; may be sticky
+  std::vector<unsigned char> cell_probe_ok_;  // probe matches candidate set
+  std::vector<unsigned char> cell_sticky_;    // rejection monotone in avail
 };
 
 }  // namespace tetris::core

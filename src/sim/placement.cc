@@ -27,14 +27,20 @@ bool is_up(const std::vector<char>* machine_up, MachineId m) {
 
 }  // namespace
 
-std::vector<ResolvedSplit> resolve_splits(
-    const std::vector<InputSplit>& splits, MachineId host,
-    unsigned long long salt, const std::vector<char>* machine_up) {
-  std::vector<ResolvedSplit> out;
+namespace {
+
+// Shared body of resolve_splits: appends into `out` so the hot caller
+// (compute_placement on a probe miss) can reuse one buffer per thread
+// instead of allocating a fresh vector per call.
+void resolve_splits_into(const std::vector<InputSplit>& splits, MachineId host,
+                         unsigned long long salt,
+                         const std::vector<char>* machine_up,
+                         std::vector<ResolvedSplit>& out,
+                         std::vector<MachineId>& live) {
+  out.clear();
   out.reserve(splits.size());
   unsigned long long h = mix(salt ^ (static_cast<unsigned long long>(host) +
                                      0x517cc1b727220a95ull));
-  std::vector<MachineId> live;
   for (const auto& split : splits) {
     if (split.from_stage >= 0) {
       throw std::logic_error(
@@ -64,6 +70,16 @@ std::vector<ResolvedSplit> resolve_splits(
     }
     out.push_back(r);
   }
+}
+
+}  // namespace
+
+std::vector<ResolvedSplit> resolve_splits(
+    const std::vector<InputSplit>& splits, MachineId host,
+    unsigned long long salt, const std::vector<char>* machine_up) {
+  std::vector<ResolvedSplit> out;
+  std::vector<MachineId> live;
+  resolve_splits_into(splits, host, salt, machine_up, out, live);
   return out;
 }
 
@@ -88,9 +104,11 @@ PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
   PlacementDemand pd;
   pd.host = host;
 
-  // Aggregate bytes per source machine.
+  // Aggregate bytes per source machine. One call per probe miss: the
+  // aggregation buffer is reused per thread rather than reallocated.
   double local_bytes = 0;
-  std::vector<std::pair<MachineId, double>> remote_bytes;
+  thread_local std::vector<std::pair<MachineId, double>> remote_bytes;
+  remote_bytes.clear();
   for (const auto& split : splits) {
     if (split.source == kGeneratedSource || split.bytes <= 0) continue;
     if (split.source == host) {
@@ -139,8 +157,10 @@ PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
 PlacementDemand compute_placement(const TaskSpec& task, MachineId host,
                                   unsigned long long salt,
                                   const std::vector<char>* machine_up) {
-  return compute_placement(
-      task, host, resolve_splits(task.inputs, host, salt, machine_up));
+  thread_local std::vector<ResolvedSplit> resolved;
+  thread_local std::vector<MachineId> live;
+  resolve_splits_into(task.inputs, host, salt, machine_up, resolved, live);
+  return compute_placement(task, host, resolved);
 }
 
 PlacementDemand compute_local_placement(const TaskSpec& task) {

@@ -18,6 +18,7 @@
 #include "sim/spec.h"
 #include "util/perf_counters.h"
 #include "util/resources.h"
+#include "util/soa_planes.h"
 #include "util/units.h"
 
 namespace tetris::trace {
@@ -131,6 +132,22 @@ class SchedulerContext {
   virtual Resources available(MachineId m) const = 0;
   virtual int running_tasks_on(MachineId m) const = 0;
 
+  // Structure-of-arrays views (DESIGN.md §12): one contiguous zero-padded
+  // lane array per resource dimension, lane = machine id, covering every
+  // id available()/capacity() accept (real machines first, rack uplinks
+  // after). A context that returns them guarantees coherence with
+  // available()/capacity() through every in-pass mutation — place() and
+  // preempt() update the planes as their source of truth — and across
+  // passes through churn, completions and tracker updates. Null by
+  // default: the SIMD scoring path then gathers per machine through the
+  // virtuals, which stays bit-identical, just slower.
+  virtual const util::ResourcePlanes* availability_planes() const {
+    return nullptr;
+  }
+  virtual const util::ResourcePlanes* capacity_planes() const {
+    return nullptr;
+  }
+
   // Churn admission filter: false while machine `m` is down (failed and
   // not yet recovered). Down machines report zero availability and refuse
   // probes and placements regardless, so no scheduler can admit to one;
@@ -160,6 +177,15 @@ class SchedulerContext {
   virtual std::vector<GroupView> imminent_groups() const = 0;
 
   virtual Probe probe(const GroupRef& group, MachineId machine) const = 0;
+  // Identical result to probe(), written into *out so the caller's heap
+  // buffers (the remote-leg vector) keep their capacity across re-probes.
+  // The tetris scan re-acquires probes at every runnable-set bump, which
+  // made the per-call vector churn a measurable slice of pass latency.
+  // Default forwards to probe() for contexts that don't override.
+  virtual void probe_into(const GroupRef& group, MachineId machine,
+                          Probe* out) const {
+    *out = probe(group, machine);
+  }
   // Commits a probe: starts the probed task on the probed machine. Returns
   // false if the probe is stale (task no longer runnable).
   virtual bool place(const Probe& probe) = 0;

@@ -222,6 +222,9 @@ class Simulator {
   InterferenceModel interference_;
   std::vector<Machine> machines_;  // real machines, then rack uplinks
   int num_real_machines_ = 0;
+  // SoA mirror of every machine's capacity (DESIGN.md §12), lane =
+  // machine id; kept coherent with set_capacity by update_rack_uplink.
+  util::ResourcePlanes cap_planes_;
   std::vector<Resources> alloc_est_;  // scheduler-visible allocations
   std::vector<int> hosted_count_;
   Resources cluster_capacity_;
@@ -293,6 +296,27 @@ class Simulator {
   // disjoint memo keys; the lock only serializes the map structure, not
   // the probe computation, which runs outside it.
   mutable std::mutex probe_mu_;
+  // Per-stage locality table: local_fraction(candidate, m) for the first
+  // kMaxLocalityScan runnable candidates against every machine at once,
+  // built once per (runnable set, churn epoch) instead of a split-replica
+  // scan per (machine, candidate) probe miss. Values are bit-identical to
+  // local_fraction(): the per-machine byte accumulation walks the splits
+  // in the same order, so every double sum and the final division match
+  // exactly. Guarded by probe_mu_; once built, an entry is read-only
+  // until the stage's versions move, which never happens while shards
+  // are probing (placements commit at the wave barrier).
+  struct LocalityTable {
+    std::uint64_t runnable_version = 0;
+    std::uint64_t churn_version = 0;
+    int finished = -1;
+    std::size_t scan = 0;
+    std::vector<double> frac;           // candidate-major: [c*machines + m]
+    std::vector<unsigned char> viable;  // inputs_available() per candidate
+  };
+  mutable std::unordered_map<std::uint64_t, LocalityTable> loc_tables_;
+  void pick_local_candidate(const StageState& stage, std::uint64_t stage_key,
+                            MachineId machine, int* best,
+                            double* best_frac) const;
   // Group-estimate memo (est_demand / est_duration / est_task_work per
   // stage), same stamping minus the churn epoch (estimates are
   // placement-independent). Serves runnable_groups(), imminent_groups()
@@ -348,12 +372,19 @@ class Simulator {
 
 class Simulator::ContextImpl final : public SchedulerContext {
  public:
+  // The pass's availability view lives in SoA planes (DESIGN.md §12):
+  // one lane per machine (real machines, then rack uplinks), built here
+  // from the tracker caches and mutated only by place()/preempt() below —
+  // so the planes stay coherent with available() by construction, through
+  // every placement commit. Cross-pass mutations (task completion, churn
+  // up/down, tracker usage updates) land in avail_cache_/avail_dirty_ and
+  // flow in at the next pass's rebuild.
   explicit ContextImpl(Simulator& sim) : sim_(sim) {
     const std::size_t n = sim_.machines_.size();
-    avail_.reserve(n);
+    avail_.reset(n);
     if (sim_.config_.naive_scheduler_view) {
       for (std::size_t m = 0; m < n; ++m) {
-        avail_.push_back(sim_.tracker_available(static_cast<MachineId>(m)));
+        avail_.set(m, sim_.tracker_available(static_cast<MachineId>(m)));
         sim_.perf_.avail_recomputes++;
       }
       return;
@@ -370,7 +401,7 @@ class Simulator::ContextImpl final : public SchedulerContext {
       } else {
         sim_.perf_.avail_cache_hits++;
       }
-      avail_.push_back(sim_.avail_cache_[m]);
+      avail_.set(m, sim_.avail_cache_[m]);
     }
   }
 
@@ -383,7 +414,13 @@ class Simulator::ContextImpl final : public SchedulerContext {
     return sim_.cluster_capacity_;
   }
   Resources available(MachineId m) const override {
-    return avail_[static_cast<std::size_t>(m)];
+    return avail_.gather(static_cast<std::size_t>(m));
+  }
+  const util::ResourcePlanes* availability_planes() const override {
+    return &avail_;
+  }
+  const util::ResourcePlanes* capacity_planes() const override {
+    return &sim_.cap_planes_;
   }
   int running_tasks_on(MachineId m) const override {
     return sim_.hosted_count_[static_cast<std::size_t>(m)];
@@ -400,6 +437,8 @@ class Simulator::ContextImpl final : public SchedulerContext {
   std::vector<JobView> active_jobs() const override;
   std::vector<GroupView> imminent_groups() const override;
   Probe probe(const GroupRef& group, MachineId machine) const override;
+  void probe_into(const GroupRef& group, MachineId machine,
+                  Probe* out) const override;
   bool place(const Probe& probe) override;
   std::vector<RunningTaskView> running_tasks() const override;
   bool preempt(int task_uid) override;
@@ -417,7 +456,7 @@ class Simulator::ContextImpl final : public SchedulerContext {
                             GroupView& view) const;
 
   Simulator& sim_;
-  std::vector<Resources> avail_;
+  util::ResourcePlanes avail_;
 };
 
 std::vector<GroupView> Simulator::ContextImpl::runnable_groups() const {
@@ -586,16 +625,31 @@ std::vector<JobView> Simulator::ContextImpl::active_jobs() const {
 Probe Simulator::ContextImpl::probe(const GroupRef& group,
                                     MachineId machine) const {
   Probe p;
+  probe_into(group, machine, &p);
+  return p;
+}
+
+void Simulator::ContextImpl::probe_into(const GroupRef& group,
+                                        MachineId machine, Probe* out) const {
+  // Reset in place: everything but the remote vector's capacity.
+  Probe& p = *out;
+  p.valid = false;
   p.group = group;
   p.machine = machine;
+  p.task_index = -1;
+  p.demand = Resources{};
+  p.remote.clear();
+  p.duration = 0;
+  p.local_fraction = 1.0;
+  p.task_work = 0;
   // Down machines admit nothing; uplink ids are not placement targets.
   if (machine < 0 || machine >= sim_.num_real_machines_ ||
       !sim_.machine_is_up(machine))
-    return p;
-  if (!sim_.has_job(group.job)) return p;
+    return;
+  if (!sim_.has_job(group.job)) return;
   const JobState& job = sim_.job_at(group.job);
   if (group.stage < 0 || group.stage >= static_cast<int>(job.stages.size()))
-    return p;
+    return;
   const StageState& stage = job.stages[static_cast<std::size_t>(group.stage)];
 
   // Cross-pass memo: the probe is a pure function of the stage's runnable
@@ -618,28 +672,40 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
         it->second.profile_version == sim_.profile_version_ &&
         it->second.finished == stage.finished) {
       sim_.perf_.probe_cache_hits++;
-      return it->second.probe;
+      p = it->second.probe;
+      return;
     }
   }
 
   // Best-locality candidate among runnable tasks (bounded scan).
   int best = -1;
   double best_frac = -1;
-  const std::size_t scan =
-      std::min(stage.runnable_indices.size(), kMaxLocalityScan);
-  for (std::size_t i = 0; i < scan; ++i) {
-    const int idx = stage.runnable_indices[i];
-    const TaskState& t = stage.tasks[static_cast<std::size_t>(idx)];
-    // Tasks whose every replica of some input is down cannot run anywhere
-    // until a recovery; they stay runnable but are not candidates.
-    if (sim_.down_count_ > 0 && !inputs_available(t.spec, sim_.machine_up_))
-      continue;
-    const double frac = local_fraction(t.spec, machine);
-    if (frac > best_frac) {
-      best_frac = frac;
-      best = idx;
+  if (naive) {
+    // The oracle recomputes from scratch — per-machine split scans, no
+    // shared table — preserving the baseline's cost profile.
+    const std::size_t scan =
+        std::min(stage.runnable_indices.size(), kMaxLocalityScan);
+    for (std::size_t i = 0; i < scan; ++i) {
+      const int idx = stage.runnable_indices[i];
+      const TaskState& t = stage.tasks[static_cast<std::size_t>(idx)];
+      // Tasks whose every replica of some input is down cannot run
+      // anywhere until a recovery; they stay runnable but are not
+      // candidates.
+      if (sim_.down_count_ > 0 && !inputs_available(t.spec, sim_.machine_up_))
+        continue;
+      const double frac = local_fraction(t.spec, machine);
+      if (frac > best_frac) {
+        best_frac = frac;
+        best = idx;
+      }
+      if (best_frac >= 1.0) break;
     }
-    if (best_frac >= 1.0) break;
+  } else {
+    // Fast path: the per-stage locality table, one build per runnable
+    // epoch amortized over every machine's miss (values bit-identical to
+    // the scan above). The stage key is the memo key minus the machine.
+    sim_.pick_local_candidate(stage, key & ~0xffffull, machine, &best,
+                              &best_frac);
   }
   const auto memoize = [&](const Probe& computed) {
     if (naive) return;
@@ -650,7 +716,7 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   };
   if (best < 0) {
     memoize(p);
-    return p;
+    return;
   }
 
   const TaskState& task = stage.tasks[static_cast<std::size_t>(best)];
@@ -690,7 +756,79 @@ Probe Simulator::ContextImpl::probe(const GroupRef& group,
   p.task_work =
       p.demand.normalized_by(sim_.avg_capacity_).sum() * p.duration;
   memoize(p);
-  return p;
+}
+
+void Simulator::pick_local_candidate(const StageState& stage,
+                                     std::uint64_t stage_key,
+                                     MachineId machine, int* best,
+                                     double* best_frac) const {
+  std::lock_guard<std::mutex> lock(probe_mu_);
+  LocalityTable& t = loc_tables_[stage_key];
+  if (t.runnable_version != stage.runnable_version ||
+      t.churn_version != churn_version_ || t.finished != stage.finished) {
+    const std::size_t scan =
+        std::min(stage.runnable_indices.size(), kMaxLocalityScan);
+    const auto machines = static_cast<std::size_t>(num_real_machines_);
+    t.scan = scan;
+    t.frac.assign(scan * machines, 0.0);
+    t.viable.assign(scan, 1);
+    for (std::size_t c = 0; c < scan; ++c) {
+      const TaskState& task =
+          stage.tasks[static_cast<std::size_t>(stage.runnable_indices[c])];
+      // Tasks whose every replica of some input is down cannot run
+      // anywhere until a recovery; they stay runnable but are not
+      // candidates. machine_up_ only changes with churn_version_, so the
+      // cached flag stays exact.
+      if (down_count_ > 0 && !inputs_available(task.spec, machine_up_)) {
+        t.viable[c] = 0;
+        continue;
+      }
+      // Accumulate each machine's local bytes split-major — the exact
+      // addition order local_fraction() uses per machine — then divide.
+      double* local = t.frac.data() + c * machines;
+      double total = 0;
+      for (const auto& split : task.spec.inputs) {
+        if (split.bytes <= 0) continue;
+        total += split.bytes;
+        if (split.replicas.empty()) {
+          // Generated input: local everywhere, costing no remote read.
+          for (std::size_t m = 0; m < machines; ++m) local[m] += split.bytes;
+          continue;
+        }
+        for (auto it = split.replicas.begin(); it != split.replicas.end();
+             ++it) {
+          // First occurrence only: local_fraction() counts a split once
+          // per machine however many times a replica repeats.
+          if (std::find(split.replicas.begin(), it, *it) != it) continue;
+          if (*it >= 0 && *it < static_cast<MachineId>(machines))
+            local[static_cast<std::size_t>(*it)] += split.bytes;
+        }
+      }
+      if (total > 0) {
+        for (std::size_t m = 0; m < machines; ++m) local[m] /= total;
+      } else {
+        for (std::size_t m = 0; m < machines; ++m) local[m] = 1.0;
+      }
+    }
+    t.runnable_version = stage.runnable_version;
+    t.churn_version = churn_version_;
+    t.finished = stage.finished;
+  }
+  // Same argmax as the per-machine scan: first strict improvement wins,
+  // early out once fully local.
+  *best = -1;
+  *best_frac = -1;
+  const auto machines = static_cast<std::size_t>(num_real_machines_);
+  for (std::size_t c = 0; c < t.scan; ++c) {
+    if (!t.viable[c]) continue;
+    const double frac =
+        t.frac[c * machines + static_cast<std::size_t>(machine)];
+    if (frac > *best_frac) {
+      *best_frac = frac;
+      *best = stage.runnable_indices[c];
+    }
+    if (*best_frac >= 1.0) break;
+  }
 }
 
 bool Simulator::ContextImpl::place(const Probe& probe) {
@@ -708,12 +846,12 @@ bool Simulator::ContextImpl::place(const Probe& probe) {
   ++placements;
 
   // Keep this pass's availability view in sync with the commitment.
-  auto& avail = avail_[static_cast<std::size_t>(probe.machine)];
-  avail = (avail - probe.demand).max_zero();
+  // sub_max_zero is per-lane `(avail - demand).max_zero()` — the same
+  // component ops in the same order the Resources expression performed.
+  avail_.sub_max_zero(static_cast<std::size_t>(probe.machine), probe.demand);
   for (const auto& leg : probe.remote) {
-    auto& ravail = avail_[static_cast<std::size_t>(leg.machine)];
-    const Resources r = leg_resources(leg);
-    ravail = (ravail - r).max_zero();
+    avail_.sub_max_zero(static_cast<std::size_t>(leg.machine),
+                        leg_resources(leg));
   }
   return true;
 }
@@ -749,16 +887,15 @@ bool Simulator::ContextImpl::preempt(int task_uid) {
   const auto est_remote = task.est_remote;
   const MachineId host = task.host;
   sim_.complete_task(task_uid, /*failed=*/true, trace::KillReason::kPreempt);
-  auto& havail = avail_[static_cast<std::size_t>(host)];
-  havail = (havail + est_local)
-               .cwise_min(sim_.machines_[static_cast<std::size_t>(host)]
-                              .capacity());
+  // add_cwise_min is per-lane `(avail + freed).cwise_min(capacity)`,
+  // matching the Resources expression it replaced bit for bit.
+  avail_.add_cwise_min(
+      static_cast<std::size_t>(host), est_local,
+      sim_.machines_[static_cast<std::size_t>(host)].capacity());
   for (const auto& leg : est_remote) {
-    auto& ravail = avail_[static_cast<std::size_t>(leg.machine)];
-    ravail = (ravail + leg_resources(leg))
-                 .cwise_min(
-                     sim_.machines_[static_cast<std::size_t>(leg.machine)]
-                         .capacity());
+    avail_.add_cwise_min(
+        static_cast<std::size_t>(leg.machine), leg_resources(leg),
+        sim_.machines_[static_cast<std::size_t>(leg.machine)].capacity());
   }
   return true;
 }
@@ -880,6 +1017,13 @@ void Simulator::init_cluster() {
   avail_cache_.assign(machines_.size(), Resources{});
   avail_dirty_.assign(machines_.size(), 1);  // first pass computes all
   ramping_.assign(machines_.size(), 0);
+
+  // SoA mirror of machines_[*].capacity() (DESIGN.md §12). Real machine
+  // capacities never change; uplink lanes are refreshed by
+  // update_rack_uplink on churn, the only set_capacity site.
+  cap_planes_.reset(machines_.size());
+  for (std::size_t m = 0; m < machines_.size(); ++m)
+    cap_planes_.set(m, machines_[m].capacity());
 
   machine_up_.assign(static_cast<std::size_t>(num_real_machines_), 1);
   down_depth_.assign(static_cast<std::size_t>(num_real_machines_), 0);
@@ -1075,6 +1219,7 @@ void Simulator::retire_job(JobState& job) {
     for (std::size_t m = 0; m < machines_.size(); ++m) {
       probe_memo_.erase(pbase | static_cast<std::uint64_t>(m));
     }
+    loc_tables_.erase(pbase);
   }
 
   resident_jobs_--;
@@ -1861,6 +2006,7 @@ void Simulator::update_rack_uplink(MachineId member) {
   uplink /= config_.rack_oversubscription;
   const auto u = static_cast<std::size_t>(num_real_machines_ + rack);
   machines_[u].set_capacity(uplink);
+  cap_planes_.set(u, uplink);  // keep the SoA capacity mirror coherent
   mark_dirty(static_cast<MachineId>(u));
 }
 

@@ -20,6 +20,14 @@ struct PerfCounters {
   long fit_index_skips = 0;  // cells skipped by the free-capacity index
   long row_skips = 0;        // cells skipped: whole row fresh-and-rejected
 
+  // SIMD scoring kernel (DESIGN.md §12). Unlike every other scan counter
+  // these two depend on how cells group into vector blocks, which follows
+  // shard boundaries — so they are stable for a fixed configuration but
+  // legitimately differ across thread counts (and are excluded from the
+  // cross-thread-count counter assertions).
+  long simd_blocks = 0;        // full-width vector blocks evaluated
+  long scalar_tail_evals = 0;  // batch lanes evaluated on the scalar tail
+
   // Simulator-side (SchedulerContext caches):
   long probe_cache_hits = 0;       // probes answered from the cross-pass memo
   long probe_cache_misses = 0;     // probes computed and memoized
@@ -56,6 +64,8 @@ struct PerfCounters {
     sticky_rejects += o.sticky_rejects;
     fit_index_skips += o.fit_index_skips;
     row_skips += o.row_skips;
+    simd_blocks += o.simd_blocks;
+    scalar_tail_evals += o.scalar_tail_evals;
     probe_cache_hits += o.probe_cache_hits;
     probe_cache_misses += o.probe_cache_misses;
     estimate_cache_hits += o.estimate_cache_hits;

@@ -136,6 +136,10 @@ void expect_repeat_identical(const sim::SimResult& a, const sim::SimResult& b) {
   EXPECT_EQ(a.perf.avail_recomputes, b.perf.avail_recomputes);
   EXPECT_EQ(a.perf.parallel_passes, b.perf.parallel_passes);
   EXPECT_EQ(a.perf.shard_score_evals, b.perf.shard_score_evals);
+  // Batch-kernel counters depend on shard boundaries, but at a FIXED
+  // thread count those are deterministic too (DESIGN.md §12).
+  EXPECT_EQ(a.perf.simd_blocks, b.perf.simd_blocks);
+  EXPECT_EQ(a.perf.scalar_tail_evals, b.perf.scalar_tail_evals);
   // perf.reduction_nanos deliberately not compared: wall clock.
 
   EXPECT_EQ(a.churn.machines_failed, b.churn.machines_failed);

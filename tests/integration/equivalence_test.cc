@@ -10,6 +10,10 @@
 // PR 3 widens the matrix along a third axis: the sharded parallel pass
 // (DESIGN.md §9) at 2 and 8 threads must match the serial scan — and the
 // naive oracle — placement for placement, for every config.
+// The SIMD axis (DESIGN.md §12) widens it again: the SoA batch scoring
+// kernel with simd ∈ {off, on} must match too, serial and sharded. The
+// oracle always scores scalar (naive_scoring forces simd off), so every
+// vector lane is held to the same serial-scan contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -17,6 +21,7 @@
 #include <sstream>
 #include <string>
 
+#include "core/score_kernel.h"
 #include "core/tetris_scheduler.h"
 #include "sim/simulator.h"
 #include "trace/replayer.h"
@@ -146,7 +151,7 @@ TEST_P(EquivalenceTest, AllPathsAndThreadCountsAreBitIdentical) {
   const Case c = GetParam();
   const sim::Workload w = make_load(c.load, c.seed);
 
-  const auto run = [&](bool naive, int threads) {
+  const auto run = [&](bool naive, int threads, core::SimdMode simd) {
     sim::SimConfig cfg = make_sim_config(c);
     cfg.naive_scheduler_view = naive;
     // Record the event stream too: decision events must agree across the
@@ -156,26 +161,37 @@ TEST_P(EquivalenceTest, AllPathsAndThreadCountsAreBitIdentical) {
     core::TetrisConfig tcfg = c.tetris;
     tcfg.naive_scoring = naive;
     tcfg.num_threads = threads;
+    tcfg.simd = simd;
     core::TetrisScheduler sched(tcfg);
     return sim::simulate(cfg, w, sched);
   };
 
   // The serial naive run is the oracle every other variant is held to.
-  const sim::SimResult oracle = run(/*naive=*/true, /*threads=*/0);
+  // naive_scoring always scores scalar regardless of the simd knob.
+  const sim::SimResult oracle =
+      run(/*naive=*/true, /*threads=*/0, core::SimdMode::kOff);
 
   struct Variant {
     const char* name;
     bool naive;
     int threads;
+    core::SimdMode simd;
   };
+  constexpr auto kOff = core::SimdMode::kOff;
+  constexpr auto kOn = core::SimdMode::kOn;
   const Variant variants[] = {
-      {"naive-2threads", true, 2}, {"naive-8threads", true, 8},
-      {"opt-serial", false, 0},    {"opt-2threads", false, 2},
-      {"opt-8threads", false, 8},
+      {"naive-2threads", true, 2, kOff},
+      {"naive-8threads", true, 8, kOff},
+      {"opt-serial-simd-off", false, 0, kOff},
+      {"opt-serial-simd-on", false, 0, kOn},
+      {"opt-2threads-simd-off", false, 2, kOff},
+      {"opt-2threads-simd-on", false, 2, kOn},
+      {"opt-8threads-simd-off", false, 8, kOff},
+      {"opt-8threads-simd-on", false, 8, kOn},
   };
   for (const auto& v : variants) {
     SCOPED_TRACE(v.name);
-    const sim::SimResult r = run(v.naive, v.threads);
+    const sim::SimResult r = run(v.naive, v.threads, v.simd);
     SCOPED_TRACE(first_placement_divergence(oracle, r));
     expect_identical(oracle, r);
 
@@ -212,15 +228,29 @@ TEST_P(EquivalenceTest, AllPathsAndThreadCountsAreBitIdentical) {
       for (long e : r.perf.shard_score_evals) shard_sum += e;
       EXPECT_EQ(shard_sum, r.perf.score_evals);
     } else {
+      // The serial-SIMD wave runs inline: parallel bookkeeping stays off.
       EXPECT_EQ(r.perf.parallel_passes, 0);
       EXPECT_TRUE(r.perf.shard_score_evals.empty());
+    }
+    if (!v.naive && v.simd == core::SimdMode::kOn) {
+      // The batch kernel must actually have run (every batched lane lands
+      // in exactly one of the two counters).
+      EXPECT_GT(r.perf.simd_blocks * core::simd::lane_width() +
+                    r.perf.scalar_tail_evals,
+                0);
+    } else {
+      EXPECT_EQ(r.perf.simd_blocks, 0);
+      EXPECT_EQ(r.perf.scalar_tail_evals, 0);
     }
     // Scan-shape counters are thread-count invariant (DESIGN.md §9: only
     // probes_issued and the probe-cache hit/miss split may shift, and
     // only under churn, when shards independently re-probe a drained
     // row). The oracle recomputes everything, so compare within a mode.
+    // simd_blocks / scalar_tail_evals are deliberately NOT compared: how
+    // cells group into vector blocks follows shard boundaries, so they
+    // legitimately differ across thread counts (DESIGN.md §12).
     if (!v.naive && v.threads > 0) {
-      const sim::SimResult serial = run(false, 0);
+      const sim::SimResult serial = run(false, 0, v.simd);
       EXPECT_EQ(r.perf.score_evals, serial.perf.score_evals);
       EXPECT_EQ(r.perf.sticky_rejects, serial.perf.sticky_rejects);
       EXPECT_EQ(r.perf.probe_reuses, serial.perf.probe_reuses);

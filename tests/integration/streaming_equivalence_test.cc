@@ -41,6 +41,9 @@ struct Case {
   bool churn = false;
   sim::EstimationMode estimation = sim::EstimationMode::kOracle;
   double lookahead = 30.0;
+  // Opt cases default to the batch kernel (the production default); the
+  // explicit SimdOff cases pin the scalar scan to the same contract.
+  core::SimdMode simd = core::SimdMode::kOn;
 };
 
 std::string case_name(const ::testing::TestParamInfo<Case>& info) {
@@ -102,6 +105,7 @@ sim::SimResult run_case(const Case& c, const Scenario& s, bool streaming) {
   core::TetrisConfig tcfg;
   tcfg.naive_scoring = c.naive;
   tcfg.num_threads = c.threads;
+  tcfg.simd = c.simd;
   core::TetrisScheduler sched(tcfg);
   return sim::simulate(cfg, s.workload, sched);
 }
@@ -262,7 +266,14 @@ INSTANTIATE_TEST_SUITE_P(
         Case{"FacebookOptNoLookahead", Load::kFacebook, false, 0, false,
              sim::EstimationMode::kOracle, 0.0},
         Case{"MotivatingOptNoLookahead", Load::kMotivating, false, 0, false,
-             sim::EstimationMode::kOracle, 0.0}),
+             sim::EstimationMode::kOracle, 0.0},
+        // The simd knob must be invisible to the streaming contract
+        // (DESIGN.md §12): scalar-scan runs match batch just like the
+        // default batch-kernel runs above.
+        Case{"FacebookOptSerialSimdOff", Load::kFacebook, false, 0, false,
+             sim::EstimationMode::kOracle, 30.0, core::SimdMode::kOff},
+        Case{"FacebookOpt8ThreadsSimdOff", Load::kFacebook, false, 8, false,
+             sim::EstimationMode::kOracle, 30.0, core::SimdMode::kOff}),
     case_name);
 
 }  // namespace
