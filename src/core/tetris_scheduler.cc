@@ -307,6 +307,17 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       double best_headroom = -1;
       for (int m = 0; m < ctx.num_machines(); ++m) {
         if (!ctx.machine_up(m)) continue;  // nothing accumulates on a corpse
+        // Reserving a machine no starved group may legally use would fence
+        // capacity the starved work can never claim.
+        bool usable = false;
+        for (const auto& g : groups) {
+          if (g.runnable > 0 && tier_of(g) == 2 &&
+              ctx.constraints_admit(g.ref, m)) {
+            usable = true;
+            break;
+          }
+        }
+        if (!usable) continue;
         const double headroom = ctx.available(m)
                                     .normalized_by(ctx.capacity(m))
                                     .sum();
@@ -425,7 +436,11 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     if (group.runnable <= 0 || locally_drained) return;
     // A down machine admits nothing; bail before probing — an invalid
     // probe below means "group drained", which a churn outage is not.
+    // Constraint-inadmissible machines bail the same way, for the same
+    // reason: both rejections are pass-constant (or monotone), so the
+    // sticky flag set above may stand.
     if (!ctx.machine_up(m)) return;
+    if (!ctx.constraints_admit(group.ref, m)) return;
     const Resources avail = ctx.available(m);
     // Cheap exact reject on the placement-independent dimensions.
     if (!sched::fits_cpu_mem(group.est_demand, avail)) return;
@@ -488,6 +503,7 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
     cell_sticky_[ci] = 1;
     if (group.runnable <= 0 || locally_drained) return false;
     if (!ctx.machine_up(m)) return false;
+    if (!ctx.constraints_admit(group.ref, m)) return false;
     if (!sched::fits_cpu_mem(group.est_demand, ctx.available(m))) return false;
     if (!cell_probe_ok_[ci]) {
       ctx.probe_into(group.ref, m, &c.probe);
@@ -556,6 +572,7 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   // candidate's whole duration. Without the duration test, deep DAGs
   // (where something is always imminent) would suppress all work.
   struct ImminentDemand {
+    sim::GroupRef ref;
     Resources demand;
     double eta;
     int tasks;  // claim budget: a stage can use at most this many machines
@@ -564,7 +581,7 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
   if (config_.future_lookahead > 0) {
     for (const auto& g : ctx.imminent_groups()) {
       if (g.eta <= config_.future_lookahead) {
-        imminent_demands.push_back({g.est_demand, g.eta, g.total});
+        imminent_demands.push_back({g.ref, g.est_demand, g.eta, g.total});
       }
     }
   }
@@ -581,6 +598,9 @@ void TetrisScheduler::schedule(sim::SchedulerContext& ctx) {
       scored.clear();
       for (int m = 0; m < total_machines; ++m) {
         if (!ctx.machine_up(m)) continue;
+        // A stage only ever claims machines it could legally run on once
+        // its barrier breaks.
+        if (!ctx.constraints_admit(i.ref, m)) continue;
         const Resources cap = ctx.capacity(m);
         if (!i.demand.fits_within(cap)) continue;
         scored.emplace_back(

@@ -36,6 +36,7 @@ std::optional<sim::Probe> best_machine_for_group(
   int scanned = 0;
   for (int m = 0; m < ctx.num_machines(); ++m) {
     if (!ctx.machine_up(m)) continue;  // failed and not yet recovered
+    if (!ctx.constraints_admit(group.ref, m)) continue;  // can't legally host
     if (prefilter && !prefilter(ctx.available(m))) continue;
     scanned++;
     sim::Probe p = ctx.probe(group.ref, m);

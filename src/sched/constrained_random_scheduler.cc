@@ -1,12 +1,14 @@
-#include "sched/random_scheduler.h"
+#include "sched/constrained_random_scheduler.h"
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sched/common.h"
 
 namespace tetris::sched {
 
-void RandomScheduler::schedule(sim::SchedulerContext& ctx) {
+void ConstrainedRandomScheduler::schedule(sim::SchedulerContext& ctx) {
   auto groups = ctx.runnable_groups();
   if (groups.empty()) return;
 
@@ -15,10 +17,11 @@ void RandomScheduler::schedule(sim::SchedulerContext& ctx) {
            remote_legs_fit(ctx, p);
   };
 
+  std::vector<int> feasible;
   std::vector<char> blocked(groups.size(), 0);
   std::size_t unblocked = groups.size();
   while (unblocked > 0) {
-    // Pick a random unblocked group.
+    // Pick a random unblocked group, like the unconstrained baseline.
     std::size_t pick = static_cast<std::size_t>(
         rng_.uniform_int(0, static_cast<std::int64_t>(groups.size()) - 1));
     while (blocked[pick]) pick = (pick + 1) % groups.size();
@@ -28,14 +31,24 @@ void RandomScheduler::schedule(sim::SchedulerContext& ctx) {
       unblocked--;
       continue;
     }
-    // Random fitting machine: probe machines starting at a random offset.
-    const int n = ctx.num_machines();
-    const int start = static_cast<int>(rng_.uniform_int(0, n - 1));
-    bool placed = false;
-    for (int k = 0; k < n; ++k) {
-      const int m = (start + k) % n;
+    // Feasible set for this group right now. Rebuilt per attempt because
+    // anti-affinity shrinks it as the group's own placements land.
+    feasible.clear();
+    for (int m = 0; m < ctx.num_machines(); ++m) {
       if (!ctx.machine_up(m)) continue;
       if (!ctx.constraints_admit(group.ref, m)) continue;
+      feasible.push_back(m);
+    }
+    // Uniform sampling without replacement (partial Fisher–Yates): each
+    // legal machine is equally likely to be tried first, regardless of id.
+    bool placed = false;
+    std::size_t remaining = feasible.size();
+    while (remaining > 0) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(remaining) - 1));
+      const int m = feasible[j];
+      feasible[j] = feasible[remaining - 1];
+      remaining--;
       sim::Probe p = ctx.probe(group.ref, m);
       if (!p.valid || !fits(p)) continue;
       if (ctx.place(p)) {

@@ -124,6 +124,15 @@ struct SimConfig {
       16, 32 * kGB, 4 * 50 * kMB, 4 * 50 * kMB, 1 * kGbps, 1 * kGbps);
   std::vector<Resources> machine_capacities;  // overrides the two above
 
+  // Heterogeneous machine classes (DESIGN.md §13): machine_labels[m] is
+  // the set of class labels machine m carries (e.g. "gpu", "highmem",
+  // "rack0"). Empty = unlabeled cluster (every constraint-free stage can
+  // run anywhere, label-requiring stages are rejected at validation).
+  // When non-empty, the outer vector must have exactly one entry per
+  // machine — simulate() rejects a size mismatch the same way it rejects
+  // the num_machines vs machine_capacities contradiction.
+  std::vector<std::vector<std::string>> machine_labels;
+
   // Rack-level network topology (paper Table 1: cross-rack bandwidth is
   // oversubscribed — ~10x at Facebook, <2x at Bing). 0 disables rack
   // modeling (flat network). With k machines per rack, each rack gets an

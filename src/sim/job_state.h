@@ -59,6 +59,15 @@ struct TaskState {
 struct StageState {
   std::vector<TaskState> tasks;
   std::vector<int> deps;
+  // Placement constraint shared by every task of the stage (DESIGN.md
+  // §13), copied from the spec at admission.
+  PlacementConstraint constraint;
+  // Static admissibility per real machine: label clauses folded in at
+  // admission, the same-rack-as-input clause folded in when the stage's
+  // inputs materialize. Empty = every machine admissible (the common,
+  // constraint-free case costs nothing). The dynamic anti-affinity clause
+  // is checked against JobState::hosted_per_machine instead.
+  std::vector<unsigned char> admit_mask;
   int unfinished_deps = 0;
   bool materialized = false;  // shuffle splits rewritten
   int runnable = 0;
@@ -107,6 +116,15 @@ struct JobState {
   // Sum of local demand vectors of the job's running tasks (true values);
   // the basis for fairness shares.
   Resources current_alloc;
+  // Running tasks of this job per real machine, maintained by
+  // start_task/complete_task; sized only when some stage of the job
+  // carries an anti-affinity constraint (empty otherwise). Within one
+  // scheduling pass counts only grow — completions land between passes —
+  // so an anti-affinity rejection is sticky-safe like any other.
+  std::vector<int> hosted_per_machine;
+  // The job can never finish: some stage's placement constraints admit no
+  // machine in this cluster (reported in SimResult::infeasible).
+  bool doomed = false;
   // Relative integral unfairness accumulator (paper §5.3.2): integrates
   // (a(t) - f(t)) / f(t) over the job's active lifetime.
   double unfairness_integral = 0;

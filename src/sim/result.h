@@ -71,6 +71,19 @@ struct ChurnStats {
   double effective_capacity = 1.0;
 };
 
+// A stage whose placement constraints admit no machine in the cluster
+// (DESIGN.md §13): the simulator reports it and marks the owning job
+// doomed instead of silently starving its tasks until max_time. The
+// label clauses are caught statically; the same-rack-as-input clause can
+// only be judged once the stage's shuffle inputs materialize, which is
+// when this record is produced.
+struct InfeasibleGroup {
+  JobId job = -1;
+  int stage = -1;
+  int tasks = 0;  // tasks that will never run because of this
+  std::string reason;
+};
+
 struct SchedulerCost {
   long invocations = 0;
   long placements = 0;
@@ -113,6 +126,10 @@ struct SimResult {
   // Hot-path cache/index effectiveness over the whole run (DESIGN.md §8).
   util::PerfCounters perf;
   ChurnStats churn;
+  // Stages no machine can ever host (see InfeasibleGroup). Non-empty
+  // implies completed == false: the affected jobs are abandoned (their
+  // records carry finish = -1) and the run drains the rest normally.
+  std::vector<InfeasibleGroup> infeasible;
   // Full event stream of the run (DESIGN.md §10); empty unless
   // SimConfig::trace.enabled was set.
   trace::TraceLog trace_log;

@@ -155,6 +155,24 @@ class SchedulerContext {
   // real machines (rack uplinks) are always up.
   virtual bool machine_up(MachineId /*m*/) const { return true; }
 
+  // Placement-constraint admission filter (DESIGN.md §13), the companion
+  // of machine_up: false when machine `m` cannot legally host a task of
+  // `group` — label require/forbid clauses, within-job anti-affinity, or
+  // same-rack-as-input. Every scan path (naive oracle, optimized scalar,
+  // SIMD waves, baselines) must consult it *before* probing, exactly
+  // where it checks machine_up: an inadmissible machine is a plain
+  // rejection of the pair, never a drained group. Within one pass the
+  // predicate can only flip admissible→inadmissible (placements add
+  // anti-affinity hosts; labels and rack sets are pass-constant), so a
+  // false result is safe to cache sticky alongside availability
+  // rejections. place() re-validates independently, so a scheduler that
+  // skips this check loses placements, not correctness. Ids past the real
+  // machines (rack uplinks) are never admissible hosts.
+  virtual bool constraints_admit(const GroupRef& /*group*/,
+                                 MachineId /*m*/) const {
+    return true;
+  }
+
   // Retirement watermark (streaming, DESIGN.md §11): every job with id
   // strictly below this has completed and been folded out of the resident
   // set; no group of such a job will ever appear again. Schedulers may

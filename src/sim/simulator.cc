@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -187,6 +188,19 @@ class Simulator {
                      trace::KillReason reason = trace::KillReason::kFault);
   void materialize_stage(JobState& job, int stage_index);
   void make_stage_runnable(JobState& job, int stage_index);
+
+  // ---- placement constraints (DESIGN.md §13) ----
+  // The admission predicate every scan path shares; see
+  // SchedulerContext::constraints_admit for the contract.
+  bool constraints_admit(const GroupRef& group, MachineId m) const;
+  // Label-clause admissibility of machine m (true when the stage has no
+  // label clauses).
+  bool labels_admit(const PlacementConstraint& c, MachineId m) const;
+  // Folds the same-rack-as-input clause into the stage's static admit
+  // mask (inputs are final once materialized); returns false — dooming
+  // the job — when the combined mask admits no machine.
+  bool finalize_admit_mask(JobState& job, int stage_index);
+  void doom_job(JobState& job, int stage_index);
   void add_runnable(StageState& stage, int task_index);
   void remove_runnable(StageState& stage, int task_index);
 
@@ -348,6 +362,10 @@ class Simulator {
   double up_capacity_integral_ = 0;
   SimTime last_up_change_ = 0;
 
+  // Sorted union of labels any machine declares; the universe the
+  // workload's constraints are validated against.
+  std::vector<std::string> declared_labels_;
+
   Rng rng_;
   // kNoisy factor stream, forked from rng_ at the same point in both
   // modes; streaming draws from it lazily at admission, in job-id order —
@@ -355,6 +373,9 @@ class Simulator {
   Rng noise_rng_;
   int running_total_ = 0;
   long completed_jobs_ = 0;
+  // Jobs abandoned because a stage's constraints admit no machine; they
+  // count toward loop termination but never toward completion.
+  long doomed_jobs_ = 0;
   std::vector<TaskReport> reports_;
 
   // Event tracing (DESIGN.md §10); null unless SimConfig::trace.enabled.
@@ -428,6 +449,9 @@ class Simulator::ContextImpl final : public SchedulerContext {
   bool machine_up(MachineId m) const override {
     return m >= 0 && m < static_cast<int>(sim_.machines_.size()) &&
            sim_.machine_is_up(m);
+  }
+  bool constraints_admit(const GroupRef& group, MachineId m) const override {
+    return sim_.constraints_admit(group, m);
   }
   JobId retired_before() const override {
     return static_cast<JobId>(sim_.jobs_base_);
@@ -841,6 +865,10 @@ bool Simulator::ContextImpl::place(const Probe& probe) {
   StageState& stage = job.stages[static_cast<std::size_t>(probe.group.stage)];
   TaskState& task = stage.tasks[static_cast<std::size_t>(probe.task_index)];
   if (task.status != TaskStatus::kRunnable) return false;
+  // Independent re-validation of the placement constraints: a scheduler
+  // that never consulted constraints_admit loses the placement here, so
+  // constraint violations are impossible, not merely unlikely.
+  if (!sim_.constraints_admit(probe.group, probe.machine)) return false;
 
   sim_.start_task(probe);
   ++placements;
@@ -907,7 +935,7 @@ Simulator::Simulator(const SimConfig& config, const Workload& workload)
     : config_(config), interference_(config.interference), rng_(config.seed) {
   init_cluster();
 
-  if (auto msg = validate(workload); !msg.empty())
+  if (auto msg = validate(workload, declared_labels_); !msg.empty())
     throw std::invalid_argument("invalid workload: " + msg);
   // Replica locations must refer to machines this cluster actually has
   // (a workload generated for a bigger cluster would index out of range).
@@ -980,6 +1008,28 @@ void Simulator::init_cluster() {
     throw std::invalid_argument(
         "ChurnConfig: mttf/mttr must be >= 0 and mttr > 0 when mttf > 0");
   }
+  // Machine labels must cover the cluster exactly or not at all — a
+  // partial list would silently leave machines unlabeled, the same class
+  // of bug as the num_machines vs machine_capacities contradiction.
+  if (!config_.machine_labels.empty() &&
+      config_.machine_labels.size() != caps.size()) {
+    throw std::invalid_argument(
+        "SimConfig: machine_labels.size()=" +
+        std::to_string(config_.machine_labels.size()) +
+        " must match the machine count " + std::to_string(caps.size()));
+  }
+  for (const auto& labels : config_.machine_labels) {
+    for (const auto& label : labels) {
+      if (label.empty())
+        throw std::invalid_argument(
+            "SimConfig: machine_labels contains an empty label");
+      declared_labels_.push_back(label);
+    }
+  }
+  std::sort(declared_labels_.begin(), declared_labels_.end());
+  declared_labels_.erase(
+      std::unique(declared_labels_.begin(), declared_labels_.end()),
+      declared_labels_.end());
   num_real_machines_ = static_cast<int>(caps.size());
   machines_.reserve(caps.size());
   for (std::size_t m = 0; m < caps.size(); ++m) {
@@ -1075,10 +1125,24 @@ JobState& Simulator::append_job(const JobSpec& spec) {
   job.arrival = spec.arrival;
   job.uid_base = next_uid_;
   job.stages.reserve(spec.stages.size());
+  bool any_anti_affinity = false;
   for (std::size_t s = 0; s < spec.stages.size(); ++s) {
     const StageSpec& sspec = spec.stages[s];
     StageState stage;
     stage.deps = sspec.deps;
+    stage.constraint = sspec.constraint;
+    any_anti_affinity |= sspec.constraint.anti_affinity;
+    // Label clauses are static: bake them into the admit mask now. The
+    // same-rack clause waits for materialization (finalize_admit_mask).
+    if (!sspec.constraint.require_labels.empty() ||
+        !sspec.constraint.forbid_labels.empty()) {
+      stage.admit_mask.assign(
+          static_cast<std::size_t>(num_real_machines_), 0);
+      for (MachineId m = 0; m < num_real_machines_; ++m) {
+        stage.admit_mask[static_cast<std::size_t>(m)] =
+            labels_admit(sspec.constraint, m) ? 1 : 0;
+      }
+    }
     stage.unfinished_deps = static_cast<int>(sspec.deps.size());
     stage.tasks.reserve(sspec.tasks.size());
     for (std::size_t t = 0; t < sspec.tasks.size(); ++t) {
@@ -1091,6 +1155,10 @@ JobState& Simulator::append_job(const JobSpec& spec) {
     }
     job.total_tasks += stage.total();
     job.stages.push_back(std::move(stage));
+  }
+  if (any_anti_affinity) {
+    job.hosted_per_machine.assign(
+        static_cast<std::size_t>(num_real_machines_), 0);
   }
 
   if (config_.estimation.mode == EstimationMode::kNoisy) {
@@ -1112,7 +1180,7 @@ JobState& Simulator::append_job(const JobSpec& spec) {
 }
 
 void Simulator::validate_job_spec(const JobSpec& spec) const {
-  if (auto msg = validate(spec); !msg.empty())
+  if (auto msg = validate(spec, declared_labels_); !msg.empty())
     throw std::invalid_argument("invalid workload: " + msg);
   const auto n = static_cast<MachineId>(num_real_machines_);
   for (const auto& stage : spec.stages) {
@@ -1369,7 +1437,7 @@ SimResult Simulator::run(Scheduler& scheduler) {
     push({0, 0, Event::Type::kTimeline, 0, 0});
   }
 
-  while (completed_jobs_ < total_jobs_) {
+  while (completed_jobs_ + doomed_jobs_ < total_jobs_) {
     // Streaming: every job due before (or at) the next event must be in
     // the queue before that event pops, or ordering would drift from
     // batch. No-op in batch mode.
@@ -1511,7 +1579,15 @@ void Simulator::on_arrival(JobId job_id) {
 }
 
 void Simulator::make_stage_runnable(JobState& job, int stage_index) {
+  if (job.doomed) return;  // abandoned: schedule no further stages
   materialize_stage(job, stage_index);
+  // The stage's inputs are final now, so its static admit mask is too; a
+  // stage no machine can host dooms the job here — reported, never
+  // silently starved in the runnable set until max_time.
+  if (!finalize_admit_mask(job, stage_index)) {
+    doom_job(job, stage_index);
+    return;
+  }
   StageState& stage = job.stages[static_cast<std::size_t>(stage_index)];
   for (auto& task : stage.tasks) {
     if (task.status == TaskStatus::kBlocked) {
@@ -1520,6 +1596,124 @@ void Simulator::make_stage_runnable(JobState& job, int stage_index) {
       add_runnable(stage, task.index_in_stage);
     }
   }
+}
+
+bool Simulator::labels_admit(const PlacementConstraint& c, MachineId m) const {
+  static const std::vector<std::string> kNoLabels;
+  const auto& labels =
+      config_.machine_labels.empty()
+          ? kNoLabels
+          : config_.machine_labels[static_cast<std::size_t>(m)];
+  for (const auto& need : c.require_labels) {
+    if (std::find(labels.begin(), labels.end(), need) == labels.end())
+      return false;
+  }
+  for (const auto& ban : c.forbid_labels) {
+    if (std::find(labels.begin(), labels.end(), ban) != labels.end())
+      return false;
+  }
+  return true;
+}
+
+bool Simulator::finalize_admit_mask(JobState& job, int stage_index) {
+  StageState& stage = job.stages[static_cast<std::size_t>(stage_index)];
+  if (stage.constraint.same_rack_as_input) {
+    // Group-level predicate, identical for admission and place(): a
+    // machine is rack-admissible iff its rack (the machine itself with
+    // rack modeling off) holds a replica of at least one input split of
+    // at least one task of the stage. Defined over the spec's replica
+    // lists regardless of up/down state, so the mask is pass-constant
+    // under churn (a constraint rejection stays sticky-safe; a down
+    // admissible machine is rejected by machine_up instead).
+    const int k = config_.machines_per_rack;
+    std::vector<unsigned char> rack_ok(
+        static_cast<std::size_t>(num_real_machines_), 0);
+    bool any_replica = false;
+    for (const auto& task : stage.tasks) {
+      for (const auto& split : task.spec.inputs) {
+        for (MachineId r : split.replicas) {
+          if (r < 0 || r >= num_real_machines_) continue;
+          any_replica = true;
+          if (k > 0) {
+            const int rack = r / k;
+            for (int m = rack * k;
+                 m < std::min((rack + 1) * k, num_real_machines_); ++m) {
+              rack_ok[static_cast<std::size_t>(m)] = 1;
+            }
+          } else {
+            rack_ok[static_cast<std::size_t>(r)] = 1;
+          }
+        }
+      }
+    }
+    // Stages with no located inputs (generated data, empty shuffles) are
+    // unconstrained by the clause — there is no rack to match.
+    if (any_replica) {
+      if (stage.admit_mask.empty()) {
+        stage.admit_mask = std::move(rack_ok);
+      } else {
+        for (std::size_t m = 0; m < stage.admit_mask.size(); ++m) {
+          stage.admit_mask[m] &= rack_ok[m];
+        }
+      }
+    }
+  }
+  if (stage.admit_mask.empty()) return true;
+  for (unsigned char ok : stage.admit_mask) {
+    if (ok) return true;
+  }
+  return false;
+}
+
+void Simulator::doom_job(JobState& job, int stage_index) {
+  const StageState& stage = job.stages[static_cast<std::size_t>(stage_index)];
+  InfeasibleGroup rec;
+  rec.job = job.id;
+  rec.stage = stage_index;
+  rec.tasks = stage.total();
+  std::ostringstream reason;
+  reason << "no machine satisfies the placement constraint of job '"
+         << job.name << "' stage " << stage_index << " (";
+  const PlacementConstraint& c = stage.constraint;
+  const char* sep = "";
+  if (!c.require_labels.empty()) {
+    reason << "require:";
+    for (const auto& l : c.require_labels) reason << " " << l;
+    sep = "; ";
+  }
+  if (!c.forbid_labels.empty()) {
+    reason << sep << "forbid:";
+    for (const auto& l : c.forbid_labels) reason << " " << l;
+    sep = "; ";
+  }
+  if (c.same_rack_as_input) reason << sep << "same-rack-as-input";
+  reason << ")";
+  rec.reason = reason.str();
+  result_.infeasible.push_back(std::move(rec));
+  if (!job.doomed) {
+    job.doomed = true;
+    doomed_jobs_++;
+  }
+}
+
+bool Simulator::constraints_admit(const GroupRef& group, MachineId m) const {
+  // Rack-uplink pseudo-machines are never placement hosts; schedulers do
+  // not scan them, but the predicate stays total.
+  if (m < 0 || m >= num_real_machines_) return false;
+  if (!has_job(group.job)) return false;
+  const JobState& job = job_at(group.job);
+  if (group.stage < 0 ||
+      group.stage >= static_cast<int>(job.stages.size()))
+    return false;
+  const StageState& stage =
+      job.stages[static_cast<std::size_t>(group.stage)];
+  if (!stage.admit_mask.empty() &&
+      !stage.admit_mask[static_cast<std::size_t>(m)])
+    return false;
+  if (stage.constraint.anti_affinity && !job.hosted_per_machine.empty() &&
+      job.hosted_per_machine[static_cast<std::size_t>(m)] > 0)
+    return false;
+  return true;
 }
 
 void Simulator::add_runnable(StageState& stage, int task_index) {
@@ -1639,6 +1833,8 @@ void Simulator::start_task(const Probe& probe) {
   mark_dirty(probe.machine);
   alloc_est_[static_cast<std::size_t>(probe.machine)] += task.est_local;
   hosted_count_[static_cast<std::size_t>(probe.machine)]++;
+  if (!job.hosted_per_machine.empty())
+    job.hosted_per_machine[static_cast<std::size_t>(probe.machine)]++;
   for (const auto& leg : pd.remote) {
     const Resources r = leg_resources(leg);
     machines_[static_cast<std::size_t>(leg.machine)].add_demand(task.uid, r);
@@ -1710,6 +1906,8 @@ void Simulator::complete_task(int uid, bool failed,
       (alloc_est_[static_cast<std::size_t>(task.host)] - task.est_local)
           .max_zero();
   hosted_count_[static_cast<std::size_t>(task.host)]--;
+  if (!job.hosted_per_machine.empty())
+    job.hosted_per_machine[static_cast<std::size_t>(task.host)]--;
   for (const auto& leg : task.placement.remote) {
     machines_[static_cast<std::size_t>(leg.machine)].remove_demand(uid);
     mark_dirty(leg.machine);

@@ -42,9 +42,49 @@ bool has_cycle(const JobSpec& job) {
   return false;
 }
 
-}  // namespace
+// Constraint clauses that can be checked from the spec alone; label
+// existence against the cluster needs the declared set (the overload
+// below). `declared` may be null (spec-only validation).
+std::string validate_constraint(const JobSpec& job, int s,
+                                const std::vector<std::string>* declared) {
+  std::ostringstream err;
+  const PlacementConstraint& c = job.stages[static_cast<std::size_t>(s)].constraint;
+  auto check_labels = [&](const std::vector<std::string>& labels,
+                          const char* clause) -> std::string {
+    for (const auto& label : labels) {
+      if (label.empty()) {
+        err << "job '" << job.name << "' stage " << s << " constraint has an "
+            << "empty " << clause << " label";
+        return err.str();
+      }
+      if (declared != nullptr &&
+          std::find(declared->begin(), declared->end(), label) ==
+              declared->end()) {
+        err << "job '" << job.name << "' stage " << s << " constraint "
+            << clause << "s label '" << label
+            << "' which no machine declares (SimConfig::machine_labels)";
+        return err.str();
+      }
+    }
+    return "";
+  };
+  if (auto msg = check_labels(c.require_labels, "require"); !msg.empty())
+    return msg;
+  if (auto msg = check_labels(c.forbid_labels, "forbid"); !msg.empty())
+    return msg;
+  for (const auto& label : c.require_labels) {
+    if (std::find(c.forbid_labels.begin(), c.forbid_labels.end(), label) !=
+        c.forbid_labels.end()) {
+      err << "job '" << job.name << "' stage " << s << " constraint both "
+          << "requires and forbids label '" << label << "'";
+      return err.str();
+    }
+  }
+  return "";
+}
 
-std::string validate(const JobSpec& job) {
+std::string validate_impl(const JobSpec& job,
+                          const std::vector<std::string>* declared) {
   std::ostringstream err;
   const int n = static_cast<int>(job.stages.size());
   if (n == 0) return "job '" + job.name + "' has no stages";
@@ -61,6 +101,8 @@ std::string validate(const JobSpec& job) {
         return err.str();
       }
     }
+    if (auto msg = validate_constraint(job, s, declared); !msg.empty())
+      return msg;
     for (std::size_t t = 0; t < stage.tasks.size(); ++t) {
       const auto& task = stage.tasks[t];
       if (task.cpu_cycles < 0 || task.output_bytes < 0) {
@@ -99,9 +141,28 @@ std::string validate(const JobSpec& job) {
   return "";
 }
 
+}  // namespace
+
+std::string validate(const JobSpec& job) {
+  return validate_impl(job, nullptr);
+}
+
 std::string validate(const Workload& workload) {
   for (const auto& job : workload.jobs) {
     if (auto msg = validate(job); !msg.empty()) return msg;
+  }
+  return "";
+}
+
+std::string validate(const JobSpec& job,
+                     const std::vector<std::string>& declared_labels) {
+  return validate_impl(job, &declared_labels);
+}
+
+std::string validate(const Workload& workload,
+                     const std::vector<std::string>& declared_labels) {
+  for (const auto& job : workload.jobs) {
+    if (auto msg = validate(job, declared_labels); !msg.empty()) return msg;
   }
   return "";
 }

@@ -52,14 +52,45 @@ struct TaskSpec {
   double max_io_bw = 100 * kMB;
 };
 
+// Task→machine placement constraint (DESIGN.md §13). All clauses AND
+// together; an empty constraint admits every machine, so unconstrained
+// workloads pay nothing. Labels reference `SimConfig::machine_labels`
+// (e.g. "gpu", "highmem", "rack0"); a constraint naming a label no
+// machine declares is rejected at simulation start, not silently
+// unsatisfiable (same fail-fast contract as the num_machines vs
+// machine_capacities contradiction).
+struct PlacementConstraint {
+  // Machine must carry every one of these labels (require-class).
+  std::vector<std::string> require_labels;
+  // Machine must carry none of these labels.
+  std::vector<std::string> forbid_labels;
+  // At most one task of this job per machine (anti-affinity within the
+  // job — spread for fault tolerance).
+  bool anti_affinity = false;
+  // Machine must sit in the same rack (SimConfig::machines_per_rack; the
+  // machine itself when rack modeling is off) as at least one replica of
+  // at least one input split of the stage, evaluated after shuffle splits
+  // materialize. Stages without materialized inputs are unconstrained by
+  // this clause.
+  bool same_rack_as_input = false;
+
+  bool empty() const {
+    return require_labels.empty() && forbid_labels.empty() &&
+           !anti_affinity && !same_rack_as_input;
+  }
+};
+
 // A stage: tasks performing the same computation on different partitions
 // (so their resource profiles are statistically similar, §4.1). `deps` are
 // indices of stages in the same job that must fully finish first (strict
-// barrier, as in map -> reduce).
+// barrier, as in map -> reduce). `constraint` applies to every task of the
+// stage (tasks of a stage run the same computation, so they share
+// placement requirements).
 struct StageSpec {
   std::string name;
   std::vector<TaskSpec> tasks;
   std::vector<int> deps;
+  PlacementConstraint constraint;
 };
 
 // A job: a DAG of stages plus an arrival time. `template_id` identifies
@@ -83,10 +114,21 @@ struct Workload {
 };
 
 // Validates DAG shape (deps in range, acyclic, no self-dep), non-negative
-// work and demands, and shuffle references pointing at true dependencies.
-// Returns an empty string when valid, else a description of the first
-// problem found.
+// work and demands, shuffle references pointing at true dependencies, and
+// internally-consistent placement constraints (no empty label names, no
+// label both required and forbidden). Returns an empty string when valid,
+// else a description of the first problem found.
 std::string validate(const JobSpec& job);
 std::string validate(const Workload& workload);
+
+// Same, plus every label a constraint references must appear in
+// `declared_labels` — the set of labels some machine actually carries
+// (SimConfig::machine_labels). A constraint naming an undeclared label is
+// a spec bug, not an unsatisfiable-but-legal request; the simulator calls
+// this overload so it fails fast with a clear error.
+std::string validate(const JobSpec& job,
+                     const std::vector<std::string>& declared_labels);
+std::string validate(const Workload& workload,
+                     const std::vector<std::string>& declared_labels);
 
 }  // namespace tetris::sim

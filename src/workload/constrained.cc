@@ -1,0 +1,57 @@
+#include "workload/constrained.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tetris::workload {
+
+std::vector<std::vector<std::string>> make_class_labels(int num_machines,
+                                                        int gpu_period,
+                                                        int highmem_period) {
+  std::vector<std::vector<std::string>> labels(
+      static_cast<std::size_t>(std::max(0, num_machines)));
+  for (int m = 0; m < num_machines; ++m) {
+    auto& l = labels[static_cast<std::size_t>(m)];
+    if (gpu_period > 0 && m % gpu_period == 0) l.push_back("gpu");
+    if (highmem_period > 0 && m % highmem_period == 1) l.push_back("highmem");
+    // Every machine carries a class; plain workers are "general".
+    if (l.empty()) l.push_back("general");
+  }
+  return labels;
+}
+
+sim::Workload make_constrained_suite(const ConstrainedSuiteConfig& config) {
+  sim::Workload workload = make_suite_workload(config.base);
+  if (config.intensity <= 0) return workload;
+
+  const auto scaled = [&](double f) {
+    return std::clamp(f * config.intensity, 0.0, 1.0);
+  };
+  Rng rng(config.constraint_seed);
+  for (auto& job : workload.jobs) {
+    // The suite's jobs are map (stage 0) -> reduce (stage 1); guard the
+    // indexing anyway so a reshaped base suite degrades gracefully.
+    const bool req_gpu = rng.bernoulli(scaled(config.mix.require_gpu));
+    const bool req_highmem = rng.bernoulli(scaled(config.mix.require_highmem));
+    const bool forbid_gpu =
+        !req_gpu && rng.bernoulli(scaled(config.mix.forbid_gpu));
+    const bool anti_aff = rng.bernoulli(scaled(config.mix.anti_affinity));
+    const bool same_rack = rng.bernoulli(scaled(config.mix.same_rack));
+    if (job.stages.empty()) continue;
+    auto& map_stage = job.stages.front();
+    if (req_gpu) map_stage.constraint.require_labels.push_back("gpu");
+    if (forbid_gpu) {
+      for (auto& stage : job.stages)
+        stage.constraint.forbid_labels.push_back("gpu");
+    }
+    if (job.stages.size() < 2) continue;
+    auto& red_stage = job.stages[1];
+    if (req_highmem) red_stage.constraint.require_labels.push_back("highmem");
+    if (anti_aff) red_stage.constraint.anti_affinity = true;
+    if (same_rack) red_stage.constraint.same_rack_as_input = true;
+  }
+  return workload;
+}
+
+}  // namespace tetris::workload

@@ -1,0 +1,61 @@
+// Constraint-heavy workload suite (DESIGN.md §13): the §5.1 deployment
+// suite decorated with placement constraints over a heterogeneous
+// cluster. Production traces motivate every flavour: accelerator stages
+// pinned to "gpu" machines, memory-hungry reducers pinned to "highmem",
+// latency-sensitive jobs fenced off the accelerator pool, services spread
+// one-per-machine for fault tolerance, and shuffle readers held in the
+// rack their inputs landed in. The generator scales the whole mix with a
+// single `intensity` knob so bench_constraints can sweep from the
+// unconstrained base suite (intensity 0) to heavily constrained
+// (intensity > 1) over one identical job population.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/spec.h"
+#include "workload/suite.h"
+
+namespace tetris::workload {
+
+// Fractions of jobs receiving each constraint flavour, before the
+// intensity scaling. Flavours roll independently per job except that a
+// gpu requirement suppresses a gpu forbid (they would contradict).
+struct ConstraintMix {
+  double require_gpu = 0.20;      // map stage must run on "gpu" machines
+  double require_highmem = 0.20;  // reduce stage must run on "highmem"
+  double forbid_gpu = 0.15;       // whole job keeps off the gpu pool
+  double anti_affinity = 0.25;    // reduce spreads at most one per machine
+  double same_rack = 0.25;        // reduce reads its shuffle rack-locally
+};
+
+struct ConstrainedSuiteConfig {
+  SuiteConfig base;
+  ConstraintMix mix;
+  // Scales every mix fraction (clamped to [0,1]); 0 reproduces the base
+  // suite byte for byte — same RNG stream, zero constraints.
+  double intensity = 1.0;
+  // Machine-class shape, matching make_class_labels below.
+  int gpu_period = 4;
+  int highmem_period = 3;
+  // Dedicated stream for the constraint rolls so decorating jobs never
+  // perturbs the base suite's task draws.
+  std::uint64_t constraint_seed = 7;
+};
+
+// Class labels for a cluster of `num_machines`: machine m carries "gpu"
+// when m % gpu_period == 0 and "highmem" when m % highmem_period == 1
+// (offset so the pools overlap little). Deterministic striping — tests
+// and benches can reason about exactly which machines are in each pool.
+// Every label a generated constraint can require is guaranteed declared
+// for num_machines >= 2, so validation passes at any scale.
+std::vector<std::vector<std::string>> make_class_labels(int num_machines,
+                                                        int gpu_period = 4,
+                                                        int highmem_period = 3);
+
+// The base suite with constraints rolled on top. Job specs differ from
+// make_suite_workload(config.base) only in StageSpec::constraint.
+sim::Workload make_constrained_suite(const ConstrainedSuiteConfig& config);
+
+}  // namespace tetris::workload

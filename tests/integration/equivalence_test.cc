@@ -25,6 +25,7 @@
 #include "core/tetris_scheduler.h"
 #include "sim/simulator.h"
 #include "trace/replayer.h"
+#include "workload/constrained.h"
 #include "workload/facebook.h"
 #include "workload/profiles.h"
 #include "workload/suite.h"
@@ -32,7 +33,7 @@
 namespace tetris {
 namespace {
 
-enum class Load { kSuite, kFacebook };
+enum class Load { kSuite, kFacebook, kConstrained };
 
 struct Case {
   std::string name;
@@ -58,6 +59,19 @@ sim::Workload make_load(Load kind, std::uint64_t seed) {
     cfg.seed = seed;
     return workload::make_suite_workload(cfg);
   }
+  if (kind == Load::kConstrained) {
+    // The suite above decorated with placement constraints (DESIGN.md
+    // §13); feasible by construction on the labeled 10-machine cluster
+    // make_sim_config builds for this load.
+    workload::ConstrainedSuiteConfig cfg;
+    cfg.base.num_jobs = 24;
+    cfg.base.num_machines = 10;
+    cfg.base.task_scale = 0.04;
+    cfg.base.arrival_window = 250;
+    cfg.base.seed = seed;
+    cfg.intensity = 1.5;
+    return workload::make_constrained_suite(cfg);
+  }
   workload::FacebookConfig cfg;
   cfg.num_jobs = 30;
   cfg.num_machines = 10;
@@ -73,6 +87,12 @@ sim::SimConfig make_sim_config(const Case& c) {
   cfg.machine_capacity = workload::facebook_machine();
   cfg.tracker = c.tracker;
   cfg.estimation.mode = c.estimation;
+  if (c.load == Load::kConstrained) {
+    // Heterogeneous classes + racks so every constraint flavour (labels,
+    // anti-affinity, same-rack-as-input) is live in the scan.
+    cfg.machine_labels = workload::make_class_labels(10);
+    cfg.machines_per_rack = 5;
+  }
   if (c.churn) {
     cfg.churn.scripted = {{2, 20.0, 80.0}, {7, 50.0, 140.0}, {2, 200.0, 260.0}};
   }
@@ -320,6 +340,34 @@ INSTANTIATE_TEST_SUITE_P(
                core::TetrisConfig t;
                t.fairness_over_queues = true;
                t.fairness_knob = 0.5;
+               return t;
+             }()},
+        // Placement constraints (DESIGN.md §13): the admission predicate
+        // must filter identically in the serial scan, the sharded scan,
+        // the SIMD waves and the naive oracle — constrained schedules
+        // stay bit-identical across the whole variant grid.
+        Case{"ConstrainedSuite", Load::kConstrained, 1, false,
+             sim::TrackerMode::kUsage, sim::EstimationMode::kOracle, {}},
+        Case{"ConstrainedSuiteSeed2", Load::kConstrained, 2, false,
+             sim::TrackerMode::kUsage, sim::EstimationMode::kOracle, {}},
+        // Churn x constraints: outages shrink the feasible sets; probe
+        // memos and sticky rejections must stay coherent with both.
+        Case{"ConstrainedChurn", Load::kConstrained, 1, true,
+             sim::TrackerMode::kUsage, sim::EstimationMode::kOracle, {}},
+        // Starvation reservations may only fence constraint-admissible
+        // machines; lookahead claims only label-admissible ones.
+        Case{"ConstrainedStarvation", Load::kConstrained, 1, false,
+             sim::TrackerMode::kUsage, sim::EstimationMode::kOracle,
+             [] {
+               core::TetrisConfig t;
+               t.starvation_threshold = 30;
+               return t;
+             }()},
+        Case{"ConstrainedLookahead", Load::kConstrained, 1, false,
+             sim::TrackerMode::kUsage, sim::EstimationMode::kOracle,
+             [] {
+               core::TetrisConfig t;
+               t.future_lookahead = 15;
                return t;
              }()}),
     case_name);

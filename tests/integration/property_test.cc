@@ -10,11 +10,14 @@
 #include <set>
 
 #include "core/tetris_scheduler.h"
+#include "sched/constrained_random_scheduler.h"
 #include "sched/drf_scheduler.h"
 #include "sched/random_scheduler.h"
 #include "sched/slot_scheduler.h"
 #include "sched/srtf_scheduler.h"
 #include "sim/simulator.h"
+#include "tests/support/constraint_checker.h"
+#include "workload/constrained.h"
 #include "workload/facebook.h"
 #include "workload/profiles.h"
 #include "workload/suite.h"
@@ -261,6 +264,108 @@ INSTANTIATE_TEST_SUITE_P(
         Case{Sched::kRandom, Load::kSuite, 1},
         Case{Sched::kRandom, Load::kFacebook, 1}),
     case_name);
+
+// Constraint-satisfaction matrix (DESIGN.md §13): on a constraint-heavy
+// workload over a heterogeneous cluster, EVERY placement by EVERY
+// scheduler — Tetris across the naive x threads x simd x churn grid and
+// all baselines — must satisfy its stage's constraints. Checked post-hoc
+// from the decision trace by an independent replayer, so the assertion
+// does not share code with the admission predicate it is auditing.
+struct ConstraintCase {
+  std::string name;
+  Sched sched = Sched::kTetris;
+  int num_threads = 0;
+  core::SimdMode simd = core::SimdMode::kOff;  // Tetris-only
+  bool naive = false;                          // Tetris-only
+  bool churn = false;
+};
+
+std::string constraint_case_name(
+    const ::testing::TestParamInfo<ConstraintCase>& info) {
+  return info.param.name;
+}
+
+class ConstraintPropertyTest
+    : public ::testing::TestWithParam<ConstraintCase> {};
+
+TEST_P(ConstraintPropertyTest, EveryPlacementSatisfiesItsConstraints) {
+  const ConstraintCase c = GetParam();
+
+  // Heavily constrained but statically feasible on this cluster: with
+  // gpu on every 4th machine, highmem on every 3rd (offset 1) and racks
+  // of 5, both racks hold gpu and highmem machines.
+  workload::ConstrainedSuiteConfig wcfg;
+  wcfg.base.num_jobs = 24;
+  wcfg.base.num_machines = 10;
+  wcfg.base.task_scale = 0.04;
+  wcfg.base.arrival_window = 250;
+  wcfg.base.seed = 1;
+  wcfg.intensity = 1.5;
+  const sim::Workload w = workload::make_constrained_suite(wcfg);
+
+  sim::SimConfig cfg;
+  cfg.num_machines = 10;
+  cfg.machine_capacity = workload::facebook_machine();
+  cfg.machine_labels = workload::make_class_labels(10);
+  cfg.machines_per_rack = 5;
+  cfg.trace.enabled = true;
+  cfg.trace.max_chunks_per_thread = 1024;
+  if (c.churn) {
+    cfg.churn.scripted = {{2, 20.0, 80.0}, {7, 50.0, 140.0},
+                          {2, 200.0, 260.0}};
+  }
+  cfg.naive_scheduler_view = c.naive;
+
+  std::unique_ptr<sim::Scheduler> scheduler;
+  if (c.sched == Sched::kTetris) {
+    cfg.tracker = sim::TrackerMode::kUsage;
+    core::TetrisConfig tcfg;
+    tcfg.num_threads = c.num_threads;
+    tcfg.simd = c.simd;
+    tcfg.naive_scoring = c.naive;
+    scheduler = std::make_unique<core::TetrisScheduler>(tcfg);
+  } else if (c.sched == Sched::kRandom) {
+    scheduler = std::make_unique<sched::ConstrainedRandomScheduler>();
+  } else {
+    scheduler = make_scheduler(c.sched);
+  }
+  const sim::SimResult r = sim::simulate(cfg, w, *scheduler);
+
+  // The workload is feasible: nothing may be doomed, everything drains.
+  EXPECT_TRUE(r.infeasible.empty());
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.trace_log.dropped, 0u);
+
+  const auto check = test::check_constraints(w, cfg, r);
+  EXPECT_GT(check.constrained_starts, 0)
+      << "matrix case exercised no constrained placement — vacuous";
+  EXPECT_TRUE(check.violations.empty())
+      << check.violations.size() << " violations, first: "
+      << check.violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstraintMatrix, ConstraintPropertyTest,
+    ::testing::Values(
+        ConstraintCase{"TetrisSerial"},
+        ConstraintCase{"TetrisSerialSimdOn", Sched::kTetris, 0,
+                       core::SimdMode::kOn},
+        ConstraintCase{"TetrisNaiveOracle", Sched::kTetris, 0,
+                       core::SimdMode::kOff, true},
+        ConstraintCase{"Tetris4Threads", Sched::kTetris, 4},
+        ConstraintCase{"Tetris8ThreadsSimdOn", Sched::kTetris, 8,
+                       core::SimdMode::kOn},
+        ConstraintCase{"TetrisChurnSerial", Sched::kTetris, 0,
+                       core::SimdMode::kOff, false, true},
+        ConstraintCase{"TetrisChurn4ThreadsSimdOn", Sched::kTetris, 4,
+                       core::SimdMode::kOn, false, true},
+        ConstraintCase{"ConstrainedRandom", Sched::kRandom},
+        ConstraintCase{"ConstrainedRandomChurn", Sched::kRandom, 0,
+                       core::SimdMode::kOff, false, true},
+        ConstraintCase{"Slot", Sched::kSlot},
+        ConstraintCase{"Drf", Sched::kDrf},
+        ConstraintCase{"Srtf", Sched::kSrtf}),
+    constraint_case_name);
 
 }  // namespace
 }  // namespace tetris

@@ -336,5 +336,105 @@ TEST(Churn, ConfigValidationRejectsContradictionsAndBadEvents) {
   EXPECT_THROW(simulate(c3, w, sched), std::invalid_argument);
 }
 
+// ---- Constraint x churn interactions (DESIGN.md §13) ----
+
+TEST(Churn, SoleFeasibleClassOutageBlocksRatherThanMisplaces) {
+  // Machine 2 is the only "gpu" machine and is down for [0, 20). The
+  // gpu-requiring task must wait for it — never spill onto the idle
+  // plain machines — while an unconstrained job runs immediately.
+  Workload w;
+  JobSpec gpu_job;
+  gpu_job.name = "gpu-job";
+  StageSpec gs;
+  gs.name = "s";
+  gs.tasks = {cpu_task(2, 1, 5)};
+  gs.constraint.require_labels = {"gpu"};
+  gpu_job.stages.push_back(gs);
+  w.jobs.push_back(gpu_job);
+
+  JobSpec plain_job;
+  plain_job.name = "plain-job";
+  plain_job.stages.push_back({"s", {cpu_task(2, 1, 5)}, {}});
+  w.jobs.push_back(plain_job);
+
+  SimConfig cfg = small_cluster(3);
+  cfg.machine_labels = {{"cpu"}, {"cpu"}, {"gpu"}};
+  cfg.churn.scripted = {{2, 0.0, 20.0}};
+
+  GreedyFitScheduler sched;
+  const SimResult r = simulate(cfg, w, sched);
+
+  ASSERT_TRUE(r.completed);
+  EXPECT_TRUE(r.infeasible.empty());  // blocked is not infeasible
+  ASSERT_EQ(r.tasks.size(), 2u);
+  for (const auto& t : r.tasks) {
+    if (t.job == 0) {
+      // The constrained task waited out the outage on its sole class.
+      EXPECT_EQ(t.host, 2);
+      EXPECT_GE(t.start, 20.0 - 1e-9);
+    } else {
+      // The unconstrained one did not: it ran during the outage.
+      EXPECT_LT(t.host, 2);
+      EXPECT_LT(t.start, 20.0);
+    }
+  }
+}
+
+TEST(Churn, RequeueAfterHostFailureGoesOnlyToFeasibleMachines) {
+  // Two gpu machines and one plain. The gpu task starts on machine 0
+  // (first fit), which dies mid-run; the requeued attempt must land on
+  // the other gpu machine, never the idle plain one.
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  s.name = "s";
+  s.tasks = {cpu_task(2, 1, 20)};
+  s.constraint.require_labels = {"gpu"};
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+
+  SimConfig cfg = small_cluster(3);
+  cfg.machine_labels = {{"gpu"}, {"gpu"}, {"plain"}};
+  cfg.churn.scripted = {{0, 5.0, 60.0}};
+
+  GreedyFitScheduler sched;
+  const SimResult r = simulate(cfg, w, sched);
+
+  ASSERT_TRUE(r.completed);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_EQ(r.tasks[0].attempts, 2);
+  EXPECT_EQ(r.tasks[0].host, 1);
+  EXPECT_EQ(r.churn.task_attempts_lost, 1);
+}
+
+TEST(Churn, SoleFeasibleMachinePermanentOutageTimesOutAsIncomplete) {
+  // The only feasible machine never comes back within max_time. The
+  // constraint is *statically* satisfiable (the machine exists), so this
+  // is not an infeasibility report — the run must end incomplete at
+  // max_time with the task never placed, and never misplaced.
+  Workload w;
+  JobSpec job;
+  StageSpec s;
+  s.name = "s";
+  s.tasks = {cpu_task(2, 1, 5)};
+  s.constraint.require_labels = {"gpu"};
+  job.stages.push_back(s);
+  w.jobs.push_back(job);
+
+  SimConfig cfg = small_cluster(2);
+  cfg.machine_labels = {{"cpu"}, {"gpu"}};
+  cfg.max_time = 100.0;
+  cfg.churn.scripted = {{1, 0.0, 1000.0}};
+
+  GreedyFitScheduler sched;
+  const SimResult r = simulate(cfg, w, sched);
+
+  EXPECT_FALSE(r.completed);
+  EXPECT_TRUE(r.infeasible.empty());
+  EXPECT_TRUE(r.tasks.empty());  // never ran anywhere
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_EQ(r.jobs[0].finish, -1);
+}
+
 }  // namespace
 }  // namespace tetris::sim

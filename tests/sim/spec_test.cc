@@ -158,5 +158,63 @@ TEST(Spec, TotalTasksCountsAllStages) {
   EXPECT_EQ(Workload{}.total_tasks(), 0u);
 }
 
+// ---- Placement constraints (DESIGN.md §13) ----
+
+TEST(SpecValidate, AcceptsWellFormedConstraints) {
+  JobSpec job = two_stage_job();
+  job.stages[0].constraint.require_labels = {"gpu"};
+  job.stages[1].constraint.forbid_labels = {"gpu"};
+  job.stages[1].constraint.anti_affinity = true;
+  job.stages[1].constraint.same_rack_as_input = true;
+  EXPECT_EQ(validate(job), "");
+  EXPECT_EQ(validate(job, {"gpu", "highmem"}), "");
+}
+
+TEST(SpecValidate, RejectsEmptyLabelName) {
+  JobSpec job = two_stage_job();
+  job.stages[0].constraint.require_labels = {""};
+  EXPECT_NE(validate(job), "");
+  JobSpec job2 = two_stage_job();
+  job2.stages[0].constraint.forbid_labels = {""};
+  EXPECT_NE(validate(job2), "");
+}
+
+TEST(SpecValidate, RejectsLabelBothRequiredAndForbidden) {
+  JobSpec job = two_stage_job();
+  job.stages[0].constraint.require_labels = {"gpu"};
+  job.stages[0].constraint.forbid_labels = {"gpu"};
+  EXPECT_NE(validate(job), "");
+}
+
+TEST(SpecValidate, RejectsRequiredLabelNoMachineDeclares) {
+  // Fail-fast, like the num_machines vs machine_capacities contradiction:
+  // requiring a class the cluster does not have is a config bug, not a
+  // quietly-infeasible stage.
+  JobSpec job = two_stage_job();
+  job.stages[0].constraint.require_labels = {"tpu"};
+  // Without a declared-label list the check cannot run.
+  EXPECT_EQ(validate(job), "");
+  const auto msg = validate(job, {"gpu", "highmem"});
+  EXPECT_NE(msg, "");
+  EXPECT_NE(msg.find("tpu"), std::string::npos);
+  EXPECT_NE(msg.find("declares"), std::string::npos);
+  // Declared on some machine: fine. Forbidding an undeclared label is
+  // rejected too — a forbid that can never match is a typo, not intent.
+  EXPECT_EQ(validate(job, {"gpu", "tpu"}), "");
+  JobSpec job2 = two_stage_job();
+  job2.stages[0].constraint.forbid_labels = {"tpu"};
+  EXPECT_NE(validate(job2, {"gpu"}), "");
+  EXPECT_EQ(validate(job2, {"gpu", "tpu"}), "");
+}
+
+TEST(SpecValidate, WorkloadOverloadChecksDeclaredLabels) {
+  Workload w;
+  w.jobs.push_back(two_stage_job());
+  w.jobs[0].stages[0].constraint.require_labels = {"gpu"};
+  EXPECT_EQ(validate(w, {"gpu"}), "");
+  EXPECT_NE(validate(w, {"highmem"}), "");
+  EXPECT_NE(validate(w, {}), "");
+}
+
 }  // namespace
 }  // namespace tetris::sim

@@ -1,0 +1,119 @@
+// Post-hoc placement-constraint checker (DESIGN.md §13): replays a run's
+// event stream against the workload's declared constraints and reports
+// every violation. Deliberately independent of the simulator's admission
+// machinery — it reconstructs label sets, per-job running counts and
+// upstream output racks from the trace alone, so a bug shared by the
+// scheduler-side and simulator-side predicates cannot hide from it.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/result.h"
+#include "sim/spec.h"
+#include "trace/event.h"
+
+namespace tetris::test {
+
+struct ConstraintCheck {
+  std::vector<std::string> violations;
+  // Task starts that carried at least one constraint clause — assert > 0
+  // to keep a matrix test from passing vacuously.
+  long constrained_starts = 0;
+};
+
+// `workload.jobs[j]` must correspond to job id `j` in the trace (the batch
+// simulator assigns ids in spec order). Requires the run to have been
+// traced (cfg.trace.enabled) so kTaskStart/kTaskFinish/kTaskKill events
+// are present.
+inline ConstraintCheck check_constraints(const sim::Workload& workload,
+                                         const sim::SimConfig& cfg,
+                                         const sim::SimResult& result) {
+  ConstraintCheck out;
+  const auto rack_of = [&](sim::MachineId m) {
+    return cfg.machines_per_rack > 0 ? m / cfg.machines_per_rack : m;
+  };
+  const auto has_label = [&](sim::MachineId m, const std::string& label) {
+    if (m < 0 || static_cast<std::size_t>(m) >= cfg.machine_labels.size())
+      return false;
+    const auto& l = cfg.machine_labels[static_cast<std::size_t>(m)];
+    for (const auto& x : l)
+      if (x == label) return true;
+    return false;
+  };
+
+  // Running tasks per (job, machine), every stage: the anti-affinity
+  // clause forbids co-locating with ANY running task of the same job.
+  std::map<std::pair<std::int64_t, std::int64_t>, int> running;
+  // Hosts of finished tasks per (job, stage): where upstream outputs live.
+  std::map<std::pair<std::int64_t, std::int64_t>, std::set<sim::MachineId>>
+      finished_hosts;
+
+  for (const auto& ev : result.trace_log.events) {
+    const auto jm = std::make_pair(ev.b, ev.e);
+    if (ev.kind == trace::EventKind::kTaskFinish ||
+        ev.kind == trace::EventKind::kTaskKill) {
+      running[jm]--;
+      if (ev.kind == trace::EventKind::kTaskFinish)
+        finished_hosts[{ev.b, ev.c}].insert(
+            static_cast<sim::MachineId>(ev.e));
+      continue;
+    }
+    if (ev.kind != trace::EventKind::kTaskStart) continue;
+
+    const auto job_id = static_cast<std::size_t>(ev.b);
+    const auto stage_id = static_cast<std::size_t>(ev.c);
+    const auto m = static_cast<sim::MachineId>(ev.e);
+    if (job_id >= workload.jobs.size()) continue;
+    const auto& job = workload.jobs[job_id];
+    if (stage_id >= job.stages.size()) continue;
+    const auto& stage = job.stages[stage_id];
+    const auto& c = stage.constraint;
+    const auto violate = [&](const std::string& what) {
+      std::ostringstream os;
+      os << "t=" << ev.time << " job=" << ev.b << " stage=" << ev.c
+         << " task=" << ev.d << " on machine " << m << ": " << what;
+      out.violations.push_back(os.str());
+    };
+
+    if (!c.empty()) out.constrained_starts++;
+    for (const auto& label : c.require_labels) {
+      if (!has_label(m, label))
+        violate("missing required label '" + label + "'");
+    }
+    for (const auto& label : c.forbid_labels) {
+      if (has_label(m, label)) violate("carries forbidden label '" + label +
+                                       "'");
+    }
+    if (c.anti_affinity && running[jm] > 0)
+      violate("anti-affinity: the job already runs a task here");
+    if (c.same_rack_as_input) {
+      // Racks holding any of the stage's inputs: finished upstream hosts
+      // for shuffle splits, the declared replicas for DFS splits. An
+      // empty union means the stage has no located input and the clause
+      // constrains nothing — the simulator's any_replica guard.
+      std::set<sim::MachineId> racks;
+      for (const auto& task : stage.tasks) {
+        for (const auto& split : task.inputs) {
+          if (split.from_stage >= 0) {
+            for (auto h : finished_hosts[{ev.b, split.from_stage}])
+              racks.insert(rack_of(h));
+          }
+          for (auto rep : split.replicas) racks.insert(rack_of(rep));
+        }
+      }
+      if (!racks.empty() && racks.find(rack_of(m)) == racks.end())
+        violate("same-rack-as-input: rack " +
+                std::to_string(rack_of(m)) + " holds no input");
+    }
+    running[jm]++;
+  }
+  return out;
+}
+
+}  // namespace tetris::test
