@@ -17,7 +17,8 @@
 //   bench_results/table8_threads.csv, the SIMD on/off sweep in
 //   bench_results/table8_simd.csv and the trace on/off sweep in
 //   bench_results/table8_trace_overhead.csv. All rows are prefixed with
-//   scheduler,threads,trace so they are self-describing.
+//   scheduler,threads,trace,cells,dispatcher so they are self-describing
+//   (cells=0, dispatcher=global: these runs are not federated).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -222,7 +223,8 @@ void print_thread_scaling_table(const bench::Scale& heavy_scale,
            "mean @ heavy backlog (ms)", "max pass (ms)",
            "reduction total (ms)", "makespan (s)"});
   *threads_csv =
-      "scheduler,threads,trace,backlog_tasks,passes,mean_pass_ms,"
+      "scheduler,threads,trace,cells,dispatcher,"
+      "backlog_tasks,passes,mean_pass_ms,"
       "heavy_mean_pass_ms,max_pass_ms,parallel_passes,reduction_total_ms,"
       "makespan\n";
 
@@ -267,7 +269,8 @@ void print_thread_scaling_table(const bench::Scale& heavy_scale,
                format_double(c.max_seconds * 1e3, 3),
                format_double(reduction_ms, 3),
                format_double(best.makespan, 1)});
-    *threads_csv += "tetris-opt," + std::to_string(threads) + ",0," +
+    *threads_csv += "tetris-opt," + std::to_string(threads) +
+                    ",0,0,global," +
                     std::to_string(w.total_tasks()) + "," +
                     std::to_string(c.invocations) + "," +
                     format_double(c.mean_seconds() * 1e3, 4) + "," +
@@ -297,7 +300,8 @@ void print_simd_table(const bench::Scale& heavy_scale,
            "mean @ heavy backlog (ms)", "max pass (ms)", "simd blocks",
            "scalar tail", "speedup @ heavy"});
   *simd_csv =
-      "scheduler,threads,trace,simd,isa,lanes,backlog_tasks,passes,"
+      "scheduler,threads,trace,cells,dispatcher,"
+      "simd,isa,lanes,backlog_tasks,passes,"
       "mean_pass_ms,heavy_mean_pass_ms,max_pass_ms,score_evals,"
       "simd_blocks,scalar_tail_evals,heavy_speedup,makespan\n";
 
@@ -350,7 +354,8 @@ void print_simd_table(const bench::Scale& heavy_scale,
                  std::to_string(best.perf.scalar_tail_evals),
                  on ? format_double(speedup, 2) + "x" : "-"});
       *simd_csv += std::string("tetris-simd-") + (on ? "on" : "off") + "," +
-                   std::to_string(threads) + ",0," + (on ? "1" : "0") + "," +
+                   std::to_string(threads) + ",0,0,global," +
+                   (on ? "1" : "0") + "," +
                    std::string(core::simd::isa_name()) + "," +
                    std::to_string(core::simd::lane_width()) + "," +
                    std::to_string(w.total_tasks()) + "," +
@@ -383,7 +388,8 @@ void print_trace_overhead_table(const bench::Scale& heavy_scale,
            "mean @ heavy backlog (ms)", "max pass (ms)", "events",
            "overhead @ heavy (%)"});
   *trace_csv =
-      "scheduler,threads,trace,backlog_tasks,passes,mean_pass_ms,"
+      "scheduler,threads,trace,cells,dispatcher,"
+      "backlog_tasks,passes,mean_pass_ms,"
       "heavy_mean_pass_ms,max_pass_ms,events,dropped,heavy_overhead_pct,"
       "makespan\n";
 
@@ -439,7 +445,7 @@ void print_trace_overhead_table(const bench::Scale& heavy_scale,
                  std::to_string(events),
                  traced ? format_double(overhead_pct, 2) : "-"});
       *trace_csv += "tetris-opt," + std::to_string(threads) + "," +
-                    (traced ? "1," : "0,") +
+                    (traced ? "1," : "0,") + "0,global," +
                     std::to_string(w.total_tasks()) + "," +
                     std::to_string(c.invocations) + "," +
                     format_double(c.mean_seconds() * 1e3, 4) + "," +

@@ -72,10 +72,12 @@ std::string churn_csv(const sim::SimResult& result) {
 namespace {
 
 // The self-describing row prefix shared by the bench_results tables;
-// keep in sync with the "scheduler,threads,trace" header columns.
+// keep in sync with the "scheduler,threads,trace,cells,dispatcher"
+// header columns.
 std::string tag_prefix(const RunTag& tag) {
   return escape(tag.scheduler) + "," + std::to_string(tag.threads) + "," +
-         (tag.trace ? "1" : "0");
+         (tag.trace ? "1" : "0") + "," + std::to_string(tag.cells) + "," +
+         escape(tag.dispatcher);
 }
 
 }  // namespace
@@ -84,7 +86,8 @@ std::string pass_samples_csv(const RunTag& tag,
                              const sim::SimResult& result, bool with_header) {
   std::ostringstream os;
   if (with_header)
-    os << "scheduler,threads,trace,time,backlog,placements,pass_seconds\n";
+    os << "scheduler,threads,trace,cells,dispatcher,"
+          "time,backlog,placements,pass_seconds\n";
   for (const auto& s : result.pass_samples) {
     os << tag_prefix(tag) << "," << s.time << "," << s.backlog << ","
        << s.placements << "," << s.seconds << "\n";
@@ -96,7 +99,7 @@ std::string perf_counters_csv(const RunTag& tag,
                               const sim::SimResult& result, bool with_header) {
   std::ostringstream os;
   if (with_header) {
-    os << "scheduler,threads,trace,"
+    os << "scheduler,threads,trace,cells,dispatcher,"
           "score_evals,probes_issued,probe_reuses,sticky_rejects,"
           "fit_index_skips,row_skips,probe_cache_hits,probe_cache_misses,"
           "estimate_cache_hits,estimate_cache_misses,avail_cache_hits,"
@@ -126,7 +129,7 @@ std::string streaming_csv(const RunTag& tag, const sim::SimResult& result,
                           double peak_rss_mb, bool with_header) {
   std::ostringstream os;
   if (with_header) {
-    os << "scheduler,threads,trace,tasks,makespan,passes,"
+    os << "scheduler,threads,trace,cells,dispatcher,tasks,makespan,passes,"
           "jobs_admitted,jobs_retired,peak_resident_jobs,"
           "peak_resident_tasks,stream_deferrals,"
           "pass_p50_ms,pass_p99_ms,wall_seconds,tasks_per_sec,peak_rss_mb\n";

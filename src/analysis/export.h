@@ -26,11 +26,16 @@ std::string churn_csv(const sim::SimResult& result);
 
 // Identifies the configuration a CSV row came from, so the bench_results
 // tables are self-describing: which scheduler variant produced it, at how
-// many worker threads (0 = serial), and whether event tracing was on.
+// many worker threads (0 = serial), whether event tracing was on, and —
+// for federated runs (DESIGN.md §14) — how many cells the cluster was
+// partitioned into and which dispatch policy admitted the jobs. The
+// non-federated defaults are cells = 0 and dispatcher = "global".
 struct RunTag {
   std::string scheduler;
   int threads = 0;
   bool trace = false;
+  int cells = 0;
+  std::string dispatcher = "global";
 };
 
 // One row per scheduling pass (needs SimConfig::collect_pass_samples):

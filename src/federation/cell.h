@@ -1,0 +1,46 @@
+// Cell slicing for federated scheduling (DESIGN.md §14). A Cell owns a
+// rack-aligned contiguous slice [begin, end) of the global cluster and
+// runs its own Tetris scheduler over a SimConfig carved out of the global
+// one: capacities, labels, scripted churn and background activities are
+// sliced and remapped into the cell's local machine-id space; rack
+// topology carries over unchanged because cell boundaries are rack
+// boundaries (sim::validate_cells enforces it).
+#pragma once
+
+#include "sim/config.h"
+#include "sim/spec.h"
+
+namespace tetris::federation {
+
+// Builds the per-cell SimConfig: a cluster of span.size() machines whose
+// local machine m corresponds to global machine span.begin + m. The cell's
+// RNG seed is base.seed + cell_index, so distinct cells draw independent
+// task-failure/noise/churn streams while cell 0 of a 1-cell federation
+// keeps the base seed — the bit-identity anchor against the global run.
+// Random (MTTF/MTTR) churn is re-drawn per cell from that seed; scripted
+// events are sliced exactly. base.cells is cleared on the result.
+sim::SimConfig make_cell_config(const sim::SimConfig& base,
+                                const sim::CellSpec& span, int cell_index);
+
+// Rewrites a job's input-split replica lists into the cell's local id
+// space. A replica inside the cell maps to its local id; a replica on
+// another cell maps to the deterministic surrogate (global_id mod
+// span.size()) — modelling a cross-cell copy cached on a cell-local
+// machine, so the read still pays a (possibly remote) transfer inside the
+// cell instead of referencing a machine the cell's scheduler cannot see.
+sim::JobSpec remap_job_for_cell(const sim::JobSpec& job,
+                                const sim::CellSpec& span);
+
+// True when every label-constrained stage of the job has at least one
+// admissible machine inside the cell (require/forbid labels against
+// base.machine_labels). A job whose constraints only fit one cell must be
+// dispatched there; a job feasible nowhere goes to some cell and is doomed
+// with the usual InfeasibleGroup report.
+bool cell_feasible(const sim::JobSpec& job, const sim::SimConfig& base,
+                   const sim::CellSpec& span);
+
+// Bytes of the job's DFS input with at least one replica inside the cell —
+// the locality-aware dispatch signal.
+double cell_input_bytes(const sim::JobSpec& job, const sim::CellSpec& span);
+
+}  // namespace tetris::federation

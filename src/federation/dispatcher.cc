@@ -1,0 +1,85 @@
+#include "federation/dispatcher.h"
+
+#include <stdexcept>
+
+namespace tetris::federation {
+
+std::string policy_name(DispatchPolicy policy) {
+  switch (policy) {
+    case DispatchPolicy::kRoundRobin: return "rr";
+    case DispatchPolicy::kLeastLoaded: return "least-loaded";
+    case DispatchPolicy::kPowerOfTwo: return "p2c";
+    case DispatchPolicy::kLocalityAware: return "locality";
+  }
+  return "unknown";
+}
+
+double Dispatcher::load_metric(const sim::EngineLoad& load) {
+  // Pending work per surviving machine: cells keep comparable scores even
+  // when sizes differ or part of a cell is down. An all-down cell scores
+  // its absolute backlog — effectively infinite against healthy peers.
+  const int denom = load.up_machines > 0 ? load.up_machines : 1;
+  return static_cast<double>(load.runnable_tasks + load.running_tasks) /
+         static_cast<double>(denom);
+}
+
+int Dispatcher::pick(const std::vector<int>& candidates,
+                     const std::vector<sim::EngineLoad>& loads,
+                     const std::vector<double>& locality_bytes) {
+  if (candidates.empty()) {
+    throw std::invalid_argument("Dispatcher::pick: no candidate cells");
+  }
+  const int num_cells = static_cast<int>(loads.size());
+  auto less_loaded = [&](int a, int b) {
+    const double la = load_metric(loads[static_cast<std::size_t>(a)]);
+    const double lb = load_metric(loads[static_cast<std::size_t>(b)]);
+    if (la != lb) return la < lb;
+    return a < b;
+  };
+  switch (policy_) {
+    case DispatchPolicy::kRoundRobin: {
+      // First candidate at or after the cursor, cyclically by cell index.
+      int best = candidates.front();
+      int best_dist = num_cells;
+      for (int c : candidates) {
+        const int dist = ((c - rr_cursor_) % num_cells + num_cells) %
+                         num_cells;
+        if (dist < best_dist) {
+          best = c;
+          best_dist = dist;
+        }
+      }
+      rr_cursor_ = (best + 1) % num_cells;
+      return best;
+    }
+    case DispatchPolicy::kLeastLoaded: {
+      int best = candidates.front();
+      for (int c : candidates) {
+        if (less_loaded(c, best)) best = c;
+      }
+      return best;
+    }
+    case DispatchPolicy::kPowerOfTwo: {
+      const auto n = static_cast<std::int64_t>(candidates.size());
+      if (n == 1) return candidates.front();
+      const auto i = rng_.uniform_int(0, n - 1);
+      auto j = rng_.uniform_int(0, n - 2);
+      if (j >= i) ++j;  // two *distinct* choices
+      const int a = candidates[static_cast<std::size_t>(i)];
+      const int b = candidates[static_cast<std::size_t>(j)];
+      return less_loaded(a, b) ? a : b;
+    }
+    case DispatchPolicy::kLocalityAware: {
+      int best = candidates.front();
+      for (int c : candidates) {
+        const double bc = locality_bytes[static_cast<std::size_t>(c)];
+        const double bb = locality_bytes[static_cast<std::size_t>(best)];
+        if (bc > bb || (bc == bb && less_loaded(c, best))) best = c;
+      }
+      return best;
+    }
+  }
+  return candidates.front();
+}
+
+}  // namespace tetris::federation

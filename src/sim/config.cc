@@ -1,0 +1,46 @@
+#include "sim/config.h"
+
+#include <string>
+
+namespace tetris::sim {
+
+std::string validate_cells(const SimConfig& config) {
+  if (config.cells.empty()) return {};
+  const int n = static_cast<int>(config.resolved_capacities().size());
+  int expected_begin = 0;
+  for (std::size_t i = 0; i < config.cells.size(); ++i) {
+    const CellSpec& cell = config.cells[i];
+    const std::string where = "cell " + std::to_string(i) + " [" +
+                              std::to_string(cell.begin) + ", " +
+                              std::to_string(cell.end) + ")";
+    if (cell.begin < 0 || cell.end > n) {
+      return where + " references machines outside the cluster of " +
+             std::to_string(n);
+    }
+    if (cell.begin >= cell.end) return where + " is empty or inverted";
+    if (cell.begin < expected_begin) {
+      return where + " overlaps the previous cell ending at " +
+             std::to_string(expected_begin);
+    }
+    if (cell.begin > expected_begin) {
+      return where + " skips machines [" + std::to_string(expected_begin) +
+             ", " + std::to_string(cell.begin) + ")";
+    }
+    // Rack alignment: a cell boundary inside a rack would split the rack's
+    // uplink between two schedulers, each booking cross-rack legs on a
+    // pseudo-machine the other cannot see.
+    const int k = config.machines_per_rack;
+    if (k > 0 && cell.begin % k != 0) {
+      return where + " splits a rack (machines_per_rack=" +
+             std::to_string(k) + ")";
+    }
+    expected_begin = cell.end;
+  }
+  if (expected_begin != n) {
+    return "cells cover only [0, " + std::to_string(expected_begin) +
+           ") of the " + std::to_string(n) + "-machine cluster";
+  }
+  return {};
+}
+
+}  // namespace tetris::sim

@@ -115,6 +115,30 @@ struct StreamConfig {
   bool drop_job_records = false;
 };
 
+// One cell of a federated cluster (DESIGN.md §14): a contiguous,
+// rack-aligned slice of machines [begin, end) owned by exactly one
+// per-cell scheduler instance. Cells must tile the cluster — sorted,
+// non-overlapping, gap-free, first begin == 0, last end == num_machines —
+// and when rack modeling is on every boundary must fall on a rack
+// boundary, so no rack's uplink is shared between two schedulers.
+struct CellSpec {
+  int begin = 0;  // first machine id owned by the cell (inclusive)
+  int end = 0;    // one past the last machine id owned (exclusive)
+
+  int size() const { return end - begin; }
+  bool contains(MachineId m) const { return m >= begin && m < end; }
+};
+
+struct SimConfig;
+
+// Fail-fast validation of SimConfig::cells against the resolved cluster
+// shape. Returns an empty string when the partition is valid (or empty),
+// otherwise a description of the first problem found: out-of-range or
+// inverted spans, overlaps, skipped machines, or a cell boundary that
+// splits a rack. simulate() rejects an invalid partition the same way it
+// rejects a machine_labels size mismatch.
+std::string validate_cells(const SimConfig& config);
+
 struct SimConfig {
   // Homogeneous cluster unless `machine_capacities` is set explicitly.
   // When `machine_capacities` is set, leave this at its default or set it
@@ -156,6 +180,13 @@ struct SimConfig {
 
   // Probability that a task attempt fails partway and re-executes.
   double task_failure_prob = 0.0;
+
+  // Federated cell partition (DESIGN.md §14): when non-empty, the cells
+  // must tile [0, num_machines) exactly and respect rack boundaries —
+  // validate_cells() spells out the rules and simulate() enforces them
+  // fail-fast. The global simulator itself ignores the partition beyond
+  // validation; src/federation/ slices per-cell configs from it.
+  std::vector<CellSpec> cells;
 
   // Machine-level failure injection; see ChurnConfig.
   ChurnConfig churn;

@@ -85,6 +85,27 @@ class Simulator {
   Simulator(const SimConfig& config, JobSource& source);
   SimResult run(Scheduler& scheduler);
 
+  // ---- stepped execution (DESIGN.md §14) ----
+  // run() is prepare() + a step_one() loop + finalize(); SimEngine drives
+  // the same three phases under an external clock. One event is processed
+  // per step; `limit` leaves events at/after it (exclusive) or strictly
+  // after it (inclusive) in the queue for a later step.
+  enum class StepStatus {
+    kProcessed,  // one event consumed
+    kIdle,       // queue empty after pumping, or past max_time
+    kCutoff,     // next event lies beyond `limit`
+  };
+  void prepare(Scheduler& scheduler);
+  StepStatus step_one(Scheduler& scheduler, SimTime limit, bool inclusive);
+  SimResult finalize();
+  // Abandons every unfinished, undoomed resident job (the still-queued
+  // tail of the source is the caller's to account) and stops scheduling.
+  std::vector<JobId> halt_resident();
+  EngineLoad engine_load() const;
+  long completed_or_doomed() const { return completed_jobs_ + doomed_jobs_; }
+  long completed_jobs() const { return completed_jobs_; }
+  bool halted() const { return halted_; }
+
  private:
   friend class ContextImpl;
   class ContextImpl;
@@ -273,6 +294,12 @@ class Simulator {
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   long next_seq_ = 0;
   SimTime now_ = 0;
+  // Set when a popped event lies beyond max_time: the run is over, stepped
+  // drivers must not process further (run() breaks out of its loop).
+  bool past_max_time_ = false;
+  // Set by halt_resident(): the cell died; no further scheduling, and
+  // finalize() reports the abandoned jobs with finish = -1.
+  bool halted_ = false;
 
   std::vector<char> dirty_flags_;
   std::vector<MachineId> dirty_list_;
@@ -1018,6 +1045,12 @@ void Simulator::init_cluster() {
         std::to_string(config_.machine_labels.size()) +
         " must match the machine count " + std::to_string(caps.size()));
   }
+  // Cell partitions are validated even when this simulator runs globally:
+  // a config that would mis-shard the federated layer is a bug worth
+  // rejecting wherever it first reaches a simulator (DESIGN.md §14).
+  if (auto msg = validate_cells(config_); !msg.empty()) {
+    throw std::invalid_argument("SimConfig: invalid cell partition: " + msg);
+  }
   for (const auto& labels : config_.machine_labels) {
     for (const auto& label : labels) {
       if (label.empty())
@@ -1395,6 +1428,17 @@ Resources Simulator::tracker_available(MachineId m, bool* has_young) const {
 }
 
 SimResult Simulator::run(Scheduler& scheduler) {
+  prepare(scheduler);
+  while (completed_jobs_ + doomed_jobs_ < total_jobs_) {
+    if (step_one(scheduler, std::numeric_limits<double>::infinity(),
+                 /*inclusive=*/true) != StepStatus::kProcessed) {
+      break;
+    }
+  }
+  return finalize();
+}
+
+void Simulator::prepare(Scheduler& scheduler) {
   result_ = SimResult{};
   result_.scheduler_name = scheduler.name();
   if (tracer_) {
@@ -1436,61 +1480,104 @@ SimResult Simulator::run(Scheduler& scheduler) {
   if (config_.collect_timeline) {
     push({0, 0, Event::Type::kTimeline, 0, 0});
   }
+}
 
-  while (completed_jobs_ + doomed_jobs_ < total_jobs_) {
-    // Streaming: every job due before (or at) the next event must be in
-    // the queue before that event pops, or ordering would drift from
-    // batch. No-op in batch mode.
-    pump_admissions();
-    if (events_.empty()) break;
-    const Event e = events_.top();
-    events_.pop();
-    if (e.time > config_.max_time) break;
-    now_ = std::max(now_, e.time);
-    switch (e.type) {
-      case Event::Type::kArrival:
-        on_arrival(e.a);
-        // Coalesce simultaneous arrivals into one scheduling pass, or the
-        // first job of a batch would grab the whole cluster before its
-        // peers even exist (fairness would be meaningless at t=0). The
-        // pump keeps feeding same-instant admissions in streaming mode.
-        for (;;) {
-          pump_admissions();
-          if (events_.empty() ||
-              events_.top().type != Event::Type::kArrival ||
-              events_.top().time > now_)
-            break;
-          on_arrival(events_.top().a);
-          events_.pop();
-        }
-        run_pass(scheduler);
-        break;
-      case Event::Type::kFinish:
-        on_finish(e.a, e.b);
-        break;
-      case Event::Type::kHeartbeat:
-        on_heartbeat(scheduler);
-        break;
-      case Event::Type::kTimeline:
-        on_timeline();
-        break;
-      case Event::Type::kActivity:
-        on_activity(e.a, e.b != 0);
-        break;
-      case Event::Type::kMachineDown:
-        on_machine_down(e.a);
-        // React immediately: killed tasks may fit on surviving machines.
-        run_pass(scheduler);
-        break;
-      case Event::Type::kMachineUp:
-        on_machine_up(e.a);
-        // React immediately: restored capacity (and restored replicas) can
-        // unblock waiting tasks before the next heartbeat.
-        run_pass(scheduler);
-        break;
-    }
+Simulator::StepStatus Simulator::step_one(Scheduler& scheduler,
+                                          SimTime limit, bool inclusive) {
+  if (past_max_time_ || halted_) return StepStatus::kIdle;
+  // Streaming: every job due before (or at) the next event must be in
+  // the queue before that event pops, or ordering would drift from
+  // batch. No-op in batch mode.
+  pump_admissions();
+  if (events_.empty()) return StepStatus::kIdle;
+  // A cutoff leaves the event queued: a stepped driver submits arrivals at
+  // `limit` before advancing through it, so those arrivals order ahead of
+  // co-temporal events exactly as batch mode's upfront pushes would.
+  if (inclusive ? events_.top().time > limit : events_.top().time >= limit) {
+    return StepStatus::kCutoff;
   }
+  const Event e = events_.top();
+  events_.pop();
+  if (e.time > config_.max_time) {
+    past_max_time_ = true;
+    return StepStatus::kIdle;
+  }
+  now_ = std::max(now_, e.time);
+  switch (e.type) {
+    case Event::Type::kArrival:
+      on_arrival(e.a);
+      // Coalesce simultaneous arrivals into one scheduling pass, or the
+      // first job of a batch would grab the whole cluster before its
+      // peers even exist (fairness would be meaningless at t=0). The
+      // pump keeps feeding same-instant admissions in streaming mode.
+      for (;;) {
+        pump_admissions();
+        if (events_.empty() ||
+            events_.top().type != Event::Type::kArrival ||
+            events_.top().time > now_)
+          break;
+        on_arrival(events_.top().a);
+        events_.pop();
+      }
+      run_pass(scheduler);
+      break;
+    case Event::Type::kFinish:
+      on_finish(e.a, e.b);
+      break;
+    case Event::Type::kHeartbeat:
+      on_heartbeat(scheduler);
+      break;
+    case Event::Type::kTimeline:
+      on_timeline();
+      break;
+    case Event::Type::kActivity:
+      on_activity(e.a, e.b != 0);
+      break;
+    case Event::Type::kMachineDown:
+      on_machine_down(e.a);
+      // React immediately: killed tasks may fit on surviving machines.
+      run_pass(scheduler);
+      break;
+    case Event::Type::kMachineUp:
+      on_machine_up(e.a);
+      // React immediately: restored capacity (and restored replicas) can
+      // unblock waiting tasks before the next heartbeat.
+      run_pass(scheduler);
+      break;
+  }
+  return StepStatus::kProcessed;
+}
 
+std::vector<JobId> Simulator::halt_resident() {
+  halted_ = true;
+  std::vector<JobId> unfinished;
+  for (const auto& job : jobs_) {
+    if (job.retired || job.doomed) continue;  // done, or infeasible anywhere
+    if (job.finish >= 0) continue;            // complete but not yet retired
+    unfinished.push_back(job.id);
+  }
+  return unfinished;
+}
+
+EngineLoad Simulator::engine_load() const {
+  EngineLoad l;
+  l.machines = num_real_machines_;
+  l.up_machines = num_real_machines_ - down_count_;
+  l.runnable_tasks = runnable_total_;
+  l.running_tasks = running_total_;
+  l.active_jobs = resident_jobs_;
+  Resources alloc;
+  for (int m = 0; m < num_real_machines_; ++m) {
+    alloc += alloc_est_[static_cast<std::size_t>(m)];
+  }
+  for (std::size_t i = 0; i < kNumResources; ++i) {
+    const double cap = up_capacity_.at(i);
+    if (cap > 0) l.alloc_share = std::max(l.alloc_share, alloc.at(i) / cap);
+  }
+  return l;
+}
+
+SimResult Simulator::finalize() {
   result_.completed = completed_jobs_ == total_jobs_;
   result_.end_time = now_;
   account_up_capacity();
@@ -2325,7 +2412,162 @@ void Simulator::on_machine_up(MachineId m) {
   refresh_dirty();
 }
 
+// Push-queue JobSource feeding a stepped engine (DESIGN.md §14): the
+// federated dispatcher pushes each job it admits to this cell, in global
+// arrival order. total_jobs() reports the driver's *expected* total (the
+// global job count), which only sizes the reserved arrival-seq block —
+// every arrival seq stays below every heartbeat/finish seq regardless of
+// how many jobs this particular cell ends up receiving, so event ordering
+// matches a batch run of the same job sequence bit for bit.
+class QueueJobSource final : public JobSource {
+ public:
+  explicit QueueJobSource(long expected_jobs) : expected_(expected_jobs) {}
+
+  long total_jobs() const override { return expected_; }
+
+  bool peek(JobPeek& out) override {
+    if (queue_.empty()) return false;
+    const JobSpec& job = queue_.front();
+    out.arrival = job.arrival;
+    out.tasks = 0;
+    for (const auto& stage : job.stages) {
+      out.tasks += static_cast<long>(stage.tasks.size());
+    }
+    return true;
+  }
+
+  bool next(JobSpec& out) override {
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  void push(const JobSpec& spec) {
+    if (spec.arrival < last_arrival_) {
+      throw std::runtime_error(
+          "SimEngine: job '" + spec.name + "' submitted out of order (" +
+          std::to_string(spec.arrival) + " after " +
+          std::to_string(last_arrival_) + ")");
+    }
+    last_arrival_ = spec.arrival;
+    queue_.push_back(spec);
+  }
+
+  long queued() const { return static_cast<long>(queue_.size()); }
+
+ private:
+  long expected_ = 0;
+  SimTime last_arrival_ = -std::numeric_limits<double>::infinity();
+  std::deque<JobSpec> queue_;
+};
+
 }  // namespace
+
+struct SimEngine::Impl {
+  QueueJobSource source;
+  Simulator sim;
+  Scheduler* scheduler;
+  long expected = 0;
+  long submitted = 0;
+  bool finished = false;
+
+  static SimConfig streamed(SimConfig config) {
+    config.stream.enabled = true;
+    return config;
+  }
+
+  Impl(const SimConfig& config, Scheduler& sched, long expected_jobs)
+      : source(expected_jobs),
+        sim(streamed(config), source),
+        scheduler(&sched),
+        expected(expected_jobs) {
+    sim.prepare(sched);
+  }
+};
+
+SimEngine::SimEngine(const SimConfig& config, Scheduler& scheduler,
+                     long expected_jobs)
+    : impl_(std::make_unique<Impl>(config, scheduler, expected_jobs)) {
+  if (expected_jobs < 0) {
+    throw std::invalid_argument("SimEngine: negative expected_jobs");
+  }
+}
+
+SimEngine::~SimEngine() = default;
+
+void SimEngine::submit(const JobSpec& spec) {
+  if (impl_->finished) {
+    throw std::logic_error("SimEngine: submit() after finish()");
+  }
+  if (impl_->submitted >= impl_->expected) {
+    throw std::invalid_argument(
+        "SimEngine: more than expected_jobs=" +
+        std::to_string(impl_->expected) + " jobs submitted");
+  }
+  impl_->source.push(spec);
+  impl_->submitted++;
+}
+
+void SimEngine::advance_before(SimTime t) {
+  while (impl_->sim.step_one(*impl_->scheduler, t, /*inclusive=*/false) ==
+         Simulator::StepStatus::kProcessed) {
+  }
+}
+
+void SimEngine::advance_through(SimTime t) {
+  while (impl_->sim.step_one(*impl_->scheduler, t, /*inclusive=*/true) ==
+         Simulator::StepStatus::kProcessed) {
+  }
+}
+
+std::vector<JobId> SimEngine::halt() {
+  std::vector<JobId> unfinished = impl_->sim.halt_resident();
+  // Jobs still queued for admission are unfinished too; ids are assigned
+  // in submission order, so the queued tail occupies the last `queued`
+  // ids. The queue itself stays put — finalize() folds it into the
+  // finish = -1 records an aborted batch run would produce.
+  const long queued = impl_->source.queued();
+  for (long id = impl_->submitted - queued; id < impl_->submitted; ++id) {
+    unfinished.push_back(static_cast<JobId>(id));
+  }
+  return unfinished;
+}
+
+SimResult SimEngine::finish() {
+  if (impl_->finished) {
+    throw std::logic_error("SimEngine: finish() called twice");
+  }
+  impl_->finished = true;
+  Simulator& sim = impl_->sim;
+  if (!sim.halted()) {
+    // Same loop shape as run(), with the engine's own termination bound:
+    // every *submitted* job accounted for, rather than the global
+    // expectation (this cell may only ever see a share of it).
+    while (sim.completed_or_doomed() < impl_->submitted) {
+      if (sim.step_one(*impl_->scheduler,
+                       std::numeric_limits<double>::infinity(),
+                       /*inclusive=*/true) !=
+          Simulator::StepStatus::kProcessed) {
+        break;
+      }
+    }
+  }
+  SimResult result = sim.finalize();
+  // finalize() judged completion against the global expectation; the
+  // engine's contract is "every job submitted to it finished".
+  result.completed =
+      !sim.halted() && sim.completed_jobs() == impl_->submitted;
+  return result;
+}
+
+EngineLoad SimEngine::load() const {
+  EngineLoad l = impl_->sim.engine_load();
+  l.active_jobs += impl_->source.queued();
+  return l;
+}
+
+long SimEngine::submitted() const { return impl_->submitted; }
 
 SimResult simulate(const SimConfig& config, const Workload& workload,
                    Scheduler& scheduler) {

@@ -37,4 +37,77 @@ SimResult simulate(const SimConfig& config, const Workload& workload,
 SimResult simulate_stream(const SimConfig& config, JobSource& source,
                           Scheduler& scheduler);
 
+// Deterministic load snapshot of a stepped simulation, read by the
+// federated dispatcher between events (DESIGN.md §14). Every field is pure
+// simulation state, so dispatch decisions built on it are reproducible and
+// independent of thread count.
+struct EngineLoad {
+  int machines = 0;        // real machines owned by this engine
+  int up_machines = 0;     // machines currently up
+  int runnable_tasks = 0;  // cluster-wide pending backlog
+  int running_tasks = 0;
+  long active_jobs = 0;    // admitted minus retired (complete jobs retire)
+  // Dominant-resource fraction of *up* capacity currently allocated
+  // (scheduler-visible bookings); 0 when everything is down or idle.
+  double alloc_share = 0;
+};
+
+// Externally-clocked driver over the same event loop simulate() runs
+// (DESIGN.md §14). A SimEngine owns one cell of a federated cluster: the
+// federation layer constructs one engine per cell, submits jobs as its
+// dispatcher admits them, and advances every engine in lockstep on a
+// shared clock. Internally this is the streaming path (DESIGN.md §11) fed
+// by a push queue, so a 1-cell engine driven with the global workload is
+// bit-identical to simulate() on it — placements, makespan and decision
+// trace alike.
+//
+// Protocol: interleave submit() (non-decreasing arrivals, at most
+// `expected_jobs` in total — pass the global job count) with
+// advance_before()/advance_through(); then call finish() exactly once to
+// drain the remaining work and collect the result. halt() abandons every
+// unfinished job (cell failure) — finish() then skips the drain and
+// reports the abandoned jobs with finish = -1.
+class SimEngine {
+ public:
+  // `scheduler` must outlive the engine. `expected_jobs` reserves the
+  // deterministic arrival-sequence block (the analogue of a JobSource's
+  // total_jobs()); submitting more than that many jobs throws.
+  SimEngine(const SimConfig& config, Scheduler& scheduler,
+            long expected_jobs);
+  ~SimEngine();
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  // Enqueues a job for admission. `spec.arrival` must be >= every arrival
+  // submitted before (the JobSource contract) and >= the engine's clock.
+  void submit(const JobSpec& spec);
+
+  // Processes every event strictly before `t` (exclusive), so the caller
+  // can submit arrivals at t and have them ordered ahead of the engine's
+  // own events at t — exactly where batch mode's upfront pushes would sit.
+  void advance_before(SimTime t);
+
+  // Processes events through `t` inclusive; used to deliver scripted
+  // machine-down events at a cell-kill instant before harvesting the
+  // survivors' work.
+  void advance_through(SimTime t);
+
+  // Abandons every unfinished (and not doomed) job and returns their ids
+  // in submission order — the dispatcher re-admits them elsewhere. Ids are
+  // assigned in submission order starting at 0, including jobs still
+  // queued for admission. After halt() the engine schedules nothing more.
+  std::vector<JobId> halt();
+
+  // Drains the engine to completion (unless halted) and returns the
+  // result. Call exactly once, after the last submit().
+  SimResult finish();
+
+  EngineLoad load() const;
+  long submitted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 }  // namespace tetris::sim

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "core/tetris_scheduler.h"
+#include "sim/config.h"
+#include "sim/simulator.h"
 #include "util/units.h"
 
 namespace tetris::sim {
@@ -214,6 +219,68 @@ TEST(SpecValidate, WorkloadOverloadChecksDeclaredLabels) {
   EXPECT_EQ(validate(w, {"gpu"}), "");
   EXPECT_NE(validate(w, {"highmem"}), "");
   EXPECT_NE(validate(w, {}), "");
+}
+
+// Cell-partition validation (DESIGN.md §14): SimConfig::cells must tile
+// [0, num_machines) exactly with rack-aligned, non-empty slices — checked
+// fail-fast at simulation start, like machine_labels.
+SimConfig cluster_of(int machines, int per_rack = 0) {
+  SimConfig cfg;
+  cfg.num_machines = machines;
+  cfg.machines_per_rack = per_rack;
+  return cfg;
+}
+
+TEST(ValidateCells, AcceptsEmptyAndExactPartitions) {
+  EXPECT_EQ(validate_cells(cluster_of(8)), "");  // unpartitioned cluster
+
+  SimConfig cfg = cluster_of(8);
+  cfg.cells = {{0, 8}};
+  EXPECT_EQ(validate_cells(cfg), "");
+  cfg.cells = {{0, 3}, {3, 8}};
+  EXPECT_EQ(validate_cells(cfg), "");
+  cfg.cells = {{0, 2}, {2, 4}, {4, 6}, {6, 8}};
+  EXPECT_EQ(validate_cells(cfg), "");
+}
+
+TEST(ValidateCells, RejectsOutOfRangeEmptyOverlapGapAndShortCoverage) {
+  SimConfig cfg = cluster_of(8);
+  cfg.cells = {{0, 9}};
+  EXPECT_NE(validate_cells(cfg), "") << "end past the cluster";
+  cfg.cells = {{-1, 4}, {4, 8}};
+  EXPECT_NE(validate_cells(cfg), "") << "negative begin";
+  cfg.cells = {{0, 4}, {4, 4}};
+  EXPECT_NE(validate_cells(cfg), "") << "empty cell";
+  cfg.cells = {{0, 5}, {4, 8}};
+  EXPECT_NE(validate_cells(cfg), "") << "overlap";
+  cfg.cells = {{0, 3}, {4, 8}};
+  EXPECT_NE(validate_cells(cfg), "") << "skipped machine 3";
+  cfg.cells = {{0, 4}};
+  EXPECT_NE(validate_cells(cfg), "") << "machines 4..7 unowned";
+}
+
+TEST(ValidateCells, SimulateFailsFastOnBadPartition) {
+  SimConfig cfg = cluster_of(4);
+  cfg.cells = {{0, 2}, {3, 4}};  // machine 2 unowned
+  Workload w;
+  w.jobs.push_back(two_stage_job());
+  core::TetrisScheduler sched((core::TetrisConfig()));
+  EXPECT_THROW(simulate(cfg, w, sched), std::invalid_argument);
+  cfg.cells = {{0, 2}, {2, 4}};
+  core::TetrisScheduler sched2((core::TetrisConfig()));
+  EXPECT_NO_THROW(simulate(cfg, w, sched2));
+}
+
+TEST(ValidateCells, RejectsRackSplittingCells) {
+  SimConfig cfg = cluster_of(8, /*per_rack=*/4);
+  cfg.cells = {{0, 4}, {4, 8}};
+  EXPECT_EQ(validate_cells(cfg), "") << "rack-aligned split must pass";
+  cfg.cells = {{0, 6}, {6, 8}};
+  EXPECT_NE(validate_cells(cfg), "") << "cell boundary inside a rack";
+  // Rack modeling off: any boundary is fine.
+  SimConfig flat = cluster_of(8, /*per_rack=*/0);
+  flat.cells = {{0, 6}, {6, 8}};
+  EXPECT_EQ(validate_cells(flat), "");
 }
 
 }  // namespace
