@@ -97,6 +97,11 @@ std::string pass_samples_csv(const RunTag& tag,
 
 std::string perf_counters_csv(const RunTag& tag,
                               const sim::SimResult& result, bool with_header) {
+  return perf_counters_csv(tag, result.perf, with_header);
+}
+
+std::string perf_counters_csv(const RunTag& tag,
+                              const util::PerfCounters& p, bool with_header) {
   std::ostringstream os;
   if (with_header) {
     os << "scheduler,threads,trace,cells,dispatcher,"
@@ -104,9 +109,9 @@ std::string perf_counters_csv(const RunTag& tag,
           "fit_index_skips,row_skips,probe_cache_hits,probe_cache_misses,"
           "estimate_cache_hits,estimate_cache_misses,avail_cache_hits,"
           "avail_recomputes,simd_blocks,scalar_tail_evals,"
-          "parallel_passes,reduction_seconds,shard_evals\n";
+          "parallel_passes,reduction_seconds,cell_advance_seconds,"
+          "idle_cell_skips,shard_evals\n";
   }
-  const auto& p = result.perf;
   os << tag_prefix(tag) << "," << p.score_evals << "," << p.probes_issued << ","
      << p.probe_reuses << "," << p.sticky_rejects << "," << p.fit_index_skips
      << "," << p.row_skips << "," << p.probe_cache_hits << ","
@@ -115,7 +120,9 @@ std::string perf_counters_csv(const RunTag& tag,
      << p.avail_cache_hits << "," << p.avail_recomputes << ","
      << p.simd_blocks << "," << p.scalar_tail_evals << ","
      << p.parallel_passes << ","
-     << static_cast<double>(p.reduction_nanos) * 1e-9 << ",";
+     << static_cast<double>(p.reduction_nanos) * 1e-9 << ","
+     << static_cast<double>(p.cell_advance_nanos) * 1e-9 << ","
+     << p.idle_cell_skips << ",";
   // Per-shard score_evals as a ';'-joined list (empty for serial runs) so
   // the column count stays fixed across thread counts.
   for (std::size_t i = 0; i < p.shard_score_evals.size(); ++i)

@@ -50,10 +50,17 @@ std::string pass_samples_csv(const RunTag& tag,
 // probes issued/reused, sticky rejections, fit-index skips, and the
 // simulator-side cache hit/miss totals. The trailing parallel-pass
 // columns (DESIGN.md §9) report sharded passes, wall-clock reduction
-// seconds, and a ';'-joined per-shard score_evals split (empty when
-// every pass ran serial).
+// seconds, the federated driver's advance wall clock and idle-cell
+// skips (DESIGN.md §14.5; zero outside simulate_federated), and a
+// ';'-joined per-shard score_evals split (empty when every pass ran
+// serial). The PerfCounters overload serves callers that merged
+// counters across cells (FederatedResult::perf) rather than holding a
+// whole SimResult.
 std::string perf_counters_csv(const RunTag& tag,
                               const sim::SimResult& result,
+                              bool with_header = true);
+std::string perf_counters_csv(const RunTag& tag,
+                              const util::PerfCounters& counters,
                               bool with_header = true);
 
 // Single-row summary of a streaming run (DESIGN.md §11), the sustained-

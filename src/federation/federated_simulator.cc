@@ -1,16 +1,19 @@
 #include "federation/federated_simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "federation/cell.h"
 #include "sim/job_source.h"
 #include "sim/simulator.h"
+#include "util/thread_pool.h"
 
 namespace tetris::federation {
 
@@ -68,6 +71,36 @@ FederatedResult simulate_federated(const FederationConfig& config,
           "FederationConfig: kill needs a valid cell and a time >= 0");
     }
   }
+  if (config.cell_threads < 0) {
+    throw std::invalid_argument("FederationConfig: negative cell_threads");
+  }
+
+  // Nested-parallelism policy (DESIGN.md §14.5). Under cell-parallel
+  // execution the per-cell scheduler defaults to serial passes — the
+  // fan-out already occupies one thread per cell — so an unset
+  // tetris.num_threads does NOT inherit base.num_threads as it does in
+  // the serial lockstep. Explicitly nested settings are checked against
+  // the hardware: silently oversubscribing turns the scaling sweep into
+  // a context-switch benchmark.
+  const bool cell_parallel = config.cell_threads > 1;
+  int per_cell_threads = config.tetris.num_threads;
+  if (per_cell_threads == 0 && !cell_parallel) {
+    per_cell_threads = base.num_threads;
+  }
+  if (cell_parallel && !config.allow_oversubscription) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const long total = static_cast<long>(config.cell_threads) *
+                       static_cast<long>(std::max(1, per_cell_threads));
+    if (hw > 0 && total > static_cast<long>(hw)) {
+      throw std::invalid_argument(
+          "FederationConfig: cell_threads=" +
+          std::to_string(config.cell_threads) + " x per-cell threads=" +
+          std::to_string(std::max(1, per_cell_threads)) + " = " +
+          std::to_string(total) + " oversubscribes hardware_concurrency=" +
+          std::to_string(hw) +
+          "; set allow_oversubscription to run anyway");
+    }
+  }
 
   // Global job ids are positions in arrival-sorted order — the ids
   // sim::simulate would assign the same sorted workload, which is what
@@ -98,7 +131,7 @@ FederatedResult simulate_federated(const FederationConfig& config,
       }
     }
     core::TetrisConfig tcfg = config.tetris;
-    if (tcfg.num_threads == 0) tcfg.num_threads = base.num_threads;
+    tcfg.num_threads = per_cell_threads;
     schedulers.push_back(std::make_unique<core::TetrisScheduler>(tcfg));
     engines.push_back(
         std::make_unique<sim::SimEngine>(cfg, *schedulers.back(), num_jobs));
@@ -165,11 +198,49 @@ FederatedResult simulate_federated(const FederationConfig& config,
   }
   std::sort(events.begin(), events.end());
 
+  // Cell-parallel fan-out (DESIGN.md §14.5). Cells are fully independent
+  // between driver events — each engine owns its simulator, scheduler,
+  // RNG and trace recorder, and nothing else is shared — so the per-cell
+  // advance_before calls of one interval commute. run_barrier returns
+  // only after every cell reached ev.time (the barrier), and dispatch /
+  // kill handling stays on this thread, so EngineLoad queries observe
+  // exactly the state the serial lockstep produces, at every
+  // cell_threads count. The worklist drops quiescent cells first: for
+  // those, advance_before would mutate nothing (SimEngine::
+  // quiescent_until), so skipping them is free determinism-wise and
+  // keeps sparse cells from paying a pool hop per driver event.
+  std::unique_ptr<util::ThreadPool> pool;
+  if (cell_parallel && num_cells > 1) {
+    pool = std::make_unique<util::ThreadPool>(
+        std::min(config.cell_threads, num_cells));
+  }
+  std::vector<int> worklist;
+  worklist.reserve(static_cast<std::size_t>(num_cells));
+  long idle_cell_skips = 0;
+  long cell_advance_nanos = 0;
+
   for (const DriverEvent& ev : events) {
+    worklist.clear();
     for (int c = 0; c < num_cells; ++c) {
-      if (alive[static_cast<std::size_t>(c)]) {
-        engines[c]->advance_before(ev.time);
+      if (!alive[static_cast<std::size_t>(c)]) continue;
+      if (engines[c]->quiescent_until(ev.time)) {
+        idle_cell_skips++;
+        continue;
       }
+      worklist.push_back(c);
+    }
+    if (!worklist.empty()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      util::ThreadPool::run_barrier(
+          pool.get(), static_cast<int>(worklist.size()),
+          [&](int i) {
+            engines[worklist[static_cast<std::size_t>(i)]]->advance_before(
+                ev.time);
+          });
+      cell_advance_nanos += std::chrono::duration_cast<
+                                std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
     }
     if (ev.kind == 1) {
       dispatch(ev.index, sorted.jobs[static_cast<std::size_t>(ev.index)]);
@@ -199,9 +270,21 @@ FederatedResult simulate_federated(const FederationConfig& config,
   res.reassigned_jobs = reassigned;
   res.lost_jobs = lost;
   res.job_cell = job_cell;
-  res.cells.reserve(static_cast<std::size_t>(num_cells));
-  for (int c = 0; c < num_cells; ++c) {
-    res.cells.push_back(engines[c]->finish());
+  // The tail drain past the last driver event is the same independent
+  // per-cell work as the advance fan-out — often most of the simulated
+  // horizon — so it runs through the same barrier; results land in cell
+  // order regardless of which worker drained which cell.
+  {
+    std::vector<sim::SimResult> finished(static_cast<std::size_t>(num_cells));
+    const auto t0 = std::chrono::steady_clock::now();
+    util::ThreadPool::run_barrier(pool.get(), num_cells, [&](int c) {
+      finished[static_cast<std::size_t>(c)] = engines[c]->finish();
+    });
+    cell_advance_nanos += std::chrono::duration_cast<
+                              std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+    res.cells = std::move(finished);
   }
 
   // Global job records: the final cell's outcome under the original
@@ -275,6 +358,11 @@ FederatedResult simulate_federated(const FederationConfig& config,
   res.cell_utilization.reserve(static_cast<std::size_t>(num_cells));
   for (int c = 0; c < num_cells; ++c) {
     const sim::SimResult& r = res.cells[static_cast<std::size_t>(c)];
+    // Hot-path accounting crosses the cell boundary instead of being
+    // dropped with the per-cell results: counters sum (peaks max) and
+    // the pass-latency histograms merge bucket-wise.
+    res.perf += r.perf;
+    res.pass_latency += r.pass_latency;
     res.churn.machines_failed += r.churn.machines_failed;
     res.churn.machines_recovered += r.churn.machines_recovered;
     res.churn.task_attempts_lost += r.churn.task_attempts_lost;
@@ -307,6 +395,8 @@ FederatedResult simulate_federated(const FederationConfig& config,
   res.fragmentation = 1.0 - res.avg_utilization;
   res.utilization_skew =
       num_cells > 0 && std::isfinite(util_min) ? util_max - util_min : 0.0;
+  res.perf.cell_advance_nanos = cell_advance_nanos;
+  res.perf.idle_cell_skips = idle_cell_skips;
   return res;
 }
 

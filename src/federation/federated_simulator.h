@@ -16,6 +16,8 @@
 #include "sim/config.h"
 #include "sim/result.h"
 #include "sim/spec.h"
+#include "util/histogram.h"
+#include "util/perf_counters.h"
 
 namespace tetris::federation {
 
@@ -33,12 +35,30 @@ struct FederationConfig {
   // inherited by every cell; each cell seeds its RNG with
   // base.seed + cell_index (cell 0 keeps the base seed).
   sim::SimConfig base;
-  // Per-cell scheduler template; num_threads == 0 falls back to
-  // base.num_threads, mirroring the bench harness.
+  // Per-cell scheduler template. num_threads == 0 falls back to
+  // base.num_threads, mirroring the bench harness — EXCEPT under
+  // cell-parallel execution (cell_threads > 1), where the default is
+  // serial per-cell passes: the fan-out already uses one thread per
+  // cell, and silently multiplying the two knobs would oversubscribe the
+  // machine. Set tetris.num_threads explicitly to nest them.
   core::TetrisConfig tetris;
   DispatchPolicy policy = DispatchPolicy::kLeastLoaded;
   std::uint64_t dispatch_seed = 1;
   std::vector<CellKill> kills;
+
+  // Cell-parallel execution (DESIGN.md §14.5): 0 or 1 keeps the serial
+  // lockstep loop; N > 1 fans each driver interval's per-cell advance out
+  // as min(N, cells) tasks on a util::ThreadPool, with a barrier before
+  // every dispatcher decision. Placements, makespan and kDecisions traces
+  // are bit-identical at every setting — cells only interact at dispatch
+  // and kill instants, and both stay on the driver thread.
+  int cell_threads = 0;
+  // Fail-fast guard: cell_threads x max(1, per-cell num_threads) must not
+  // exceed std::thread::hardware_concurrency() (when known) unless this
+  // is set — oversubscribed runs stay bit-identical but measure scheduler
+  // wall-clock noise, not speedup. Benches that sweep past the core count
+  // on purpose set it and say so in their tables.
+  bool allow_oversubscription = false;
 };
 
 struct FederatedResult {
@@ -62,6 +82,14 @@ struct FederatedResult {
 
   sim::ChurnStats churn;  // summed across cells (capacity-weighted
                           // effective_capacity)
+
+  // Hot-path accounting, merged across every cell instead of being
+  // dropped at the cell boundary: summed util::PerfCounters (plus the
+  // driver's own cell_advance_nanos / idle_cell_skips) and the combined
+  // pass-latency histogram, so analysis::perf_counters_csv and p50/p99
+  // reporting work on federated runs exactly as on single-cell ones.
+  util::PerfCounters perf;
+  util::LatencyHistogram pass_latency;
 
   // Global views: job records keyed by global job id with original
   // arrivals; task records from each job's *final* cell with hosts mapped

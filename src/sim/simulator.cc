@@ -102,6 +102,17 @@ class Simulator {
   // tail of the source is the caller's to account) and stops scheduling.
   std::vector<JobId> halt_resident();
   EngineLoad engine_load() const;
+  // True when step_one(scheduler, t, /*inclusive=*/false) would be a pure
+  // no-op: the run is over (past max_time or halted), or every queued
+  // event lies at or beyond `t`. Callers must separately know that no
+  // admission is pending (a non-empty source can create events below t);
+  // SimEngine::quiescent_until folds that in. The check mutates nothing,
+  // so skipping the advance of a quiescent simulator is bit-identical to
+  // performing it — the idle-cell fast path of DESIGN.md §14.5.
+  bool quiescent_until(SimTime t) const {
+    return past_max_time_ || halted_ || events_.empty() ||
+           events_.top().time >= t;
+  }
   long completed_or_doomed() const { return completed_jobs_ + doomed_jobs_; }
   long completed_jobs() const { return completed_jobs_; }
   bool halted() const { return halted_; }
@@ -2568,6 +2579,10 @@ EngineLoad SimEngine::load() const {
 }
 
 long SimEngine::submitted() const { return impl_->submitted; }
+
+bool SimEngine::quiescent_until(SimTime t) const {
+  return impl_->source.queued() == 0 && impl_->sim.quiescent_until(t);
+}
 
 SimResult simulate(const SimConfig& config, const Workload& workload,
                    Scheduler& scheduler) {

@@ -105,6 +105,14 @@ class SimEngine {
   EngineLoad load() const;
   long submitted() const;
 
+  // True when advance_before(t) would process nothing: no job is queued
+  // for admission and the engine's next internal event (if any) lies at
+  // or beyond `t`. The check is read-only and advance_before on a
+  // quiescent engine mutates nothing, so a driver may skip the call
+  // entirely — the idle-cell fast path that makes sparse cells cost
+  // ~nothing per driver event (DESIGN.md §14.5).
+  bool quiescent_until(SimTime t) const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;

@@ -57,6 +57,16 @@ struct PerfCounters {
   // stays 0 — a deferral shifts the job's effective arrival.
   long stream_deferrals = 0;
 
+  // Federated driver bookkeeping (DESIGN.md §14.5); all zero outside
+  // simulate_federated. cell_advance_nanos is wall clock inside the
+  // per-event advance fan-out (serial loop or pool barrier), so like
+  // reduction_nanos it varies between repeated runs; idle_cell_skips —
+  // live cells whose advance was skipped because they were quiescent up
+  // to the event time with an empty admission queue — is deterministic
+  // for a fixed configuration and identical at every cell_threads count.
+  long cell_advance_nanos = 0;  // wall clock advancing cells per event
+  long idle_cell_skips = 0;     // quiescent cells skipped by the driver
+
   PerfCounters& operator+=(const PerfCounters& o) {
     score_evals += o.score_evals;
     probes_issued += o.probes_issued;
@@ -83,6 +93,8 @@ struct PerfCounters {
                               ? peak_resident_tasks
                               : o.peak_resident_tasks;
     stream_deferrals += o.stream_deferrals;
+    cell_advance_nanos += o.cell_advance_nanos;
+    idle_cell_skips += o.idle_cell_skips;
     if (shard_score_evals.size() < o.shard_score_evals.size())
       shard_score_evals.resize(o.shard_score_evals.size(), 0);
     for (std::size_t i = 0; i < o.shard_score_evals.size(); ++i)

@@ -103,4 +103,13 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   if (b.error) std::rethrow_exception(b.error);
 }
 
+void ThreadPool::run_barrier(ThreadPool* pool, int n,
+                             const std::function<void(int)>& fn) {
+  if (pool != nullptr) {
+    pool->parallel_for(n, fn);
+    return;
+  }
+  for (int i = 0; i < n; ++i) fn(i);
+}
+
 }  // namespace tetris::util

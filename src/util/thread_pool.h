@@ -37,6 +37,16 @@ class ThreadPool {
 
   void parallel_for(int n, const std::function<void(int)>& fn);
 
+  // Barrier helper for callers with an *optional* pool (DESIGN.md §14.5):
+  // fans fn(0) .. fn(n-1) out on `pool` when one is given, or runs them
+  // inline on the calling thread when `pool` is null. Either way it
+  // returns only after every index completed — the code after the call
+  // observes exactly the state a serial loop would have produced, which
+  // is what lets the federated driver swap its per-cell advance loop for
+  // a pool fan-out without perturbing anything downstream.
+  static void run_barrier(ThreadPool* pool, int n,
+                          const std::function<void(int)>& fn);
+
  private:
   // One batch lives on the caller's stack for the duration of its
   // parallel_for; batch_ is nulled before the call returns, so a worker

@@ -6,7 +6,9 @@
 // pinned to the first differing decision via the trace replayer.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "federation/federated_simulator.h"
@@ -104,6 +106,94 @@ TEST_P(FederationDeterminismTest, ThreadCountIsInvisible) {
   const FederatedResult threaded =
       simulate_federated(make_config(kMachines, 8, GetParam()), w);
   expect_identical(serial, threaded, "serial-vs-8-threads");
+}
+
+// ---- cell-parallel driver (DESIGN.md §14.5) ----
+// A 16-cell single-machine-per-cell partition with a mid-run kill: the
+// config the scaling bench runs (E26), shrunk to test scale. Every
+// cell_threads setting must replay the serial lockstep bit for bit —
+// expect_identical pins any divergence to the first differing decision
+// per cell. allow_oversubscription is set because CI boxes may have
+// fewer cores than the sweep's fan-out; identity must hold regardless.
+FederationConfig make_16cell_config(int cell_threads,
+                                    DispatchPolicy policy) {
+  FederationConfig fc;
+  fc.base.num_machines = 16;
+  fc.base.machine_capacity = workload::facebook_machine();
+  for (int c = 0; c < 16; ++c) fc.base.cells.push_back({c, c + 1});
+  fc.base.trace.enabled = true;
+  fc.base.trace.max_chunks_per_thread = 1024;
+  fc.policy = policy;
+  fc.dispatch_seed = 5;
+  fc.kills = {{3, 150.0}};
+  fc.cell_threads = cell_threads;
+  fc.allow_oversubscription = true;
+  return fc;
+}
+
+TEST_P(FederationDeterminismTest, CellParallelDriverIsInvisible) {
+  const sim::Workload w = make_workload(16);
+  const FederatedResult serial =
+      simulate_federated(make_16cell_config(1, GetParam()), w);
+  EXPECT_GT(serial.reassigned_jobs, 0)
+      << "kill must exercise the failover path under cell-parallelism";
+  for (int cell_threads : {2, 8}) {
+    const FederatedResult parallel =
+        simulate_federated(make_16cell_config(cell_threads, GetParam()), w);
+    expect_identical(serial, parallel,
+                     "serial-driver-vs-cell_threads=" +
+                         std::to_string(cell_threads));
+  }
+}
+
+TEST(FederationCellParallelTest, IdleCellsAreSkippedAndCounted) {
+  // 16 cells over a workload that keeps only a few busy at a time: the
+  // driver must skip quiescent cells (the skip is a proven no-op —
+  // CellParallelDriverIsInvisible covers identity) and account them.
+  const sim::Workload w = make_workload(16);
+  const FederatedResult r = simulate_federated(
+      make_16cell_config(2, DispatchPolicy::kLeastLoaded), w);
+  EXPECT_GT(r.perf.idle_cell_skips, 0);
+  EXPECT_GT(r.perf.cell_advance_nanos, 0);
+  // The merged per-cell counters and pass-latency histogram made it out.
+  EXPECT_GT(r.perf.score_evals, 0);
+  EXPECT_GT(r.pass_latency.count(), 0);
+}
+
+TEST(FederationCellParallelTest, NestedThreadingDefaultsToSerialCells) {
+  // Under cell-parallel execution an unset tetris.num_threads must NOT
+  // inherit base.num_threads — per-cell passes stay serial (no sharded
+  // passes recorded) so the two knobs don't silently multiply.
+  const sim::Workload w = make_workload(16);
+  FederationConfig fc = make_16cell_config(2, DispatchPolicy::kLeastLoaded);
+  fc.base.num_threads = 8;
+  const FederatedResult r = simulate_federated(fc, w);
+  EXPECT_EQ(r.perf.parallel_passes, 0)
+      << "cell-parallel runs must not inherit base.num_threads per cell";
+
+  // The serial driver keeps the old inheritance: per-cell passes shard.
+  fc.cell_threads = 0;
+  const FederatedResult inherit = simulate_federated(fc, w);
+  EXPECT_GT(inherit.perf.parallel_passes, 0);
+}
+
+TEST(FederationCellParallelTest, OversubscriptionFailsFastUnlessAllowed) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) GTEST_SKIP() << "hardware_concurrency unknown";
+  const sim::Workload w = make_workload(16);
+  FederationConfig fc = make_16cell_config(static_cast<int>(hw) + 1,
+                                           DispatchPolicy::kLeastLoaded);
+  fc.allow_oversubscription = false;
+  EXPECT_THROW(simulate_federated(fc, w), std::invalid_argument);
+  fc.allow_oversubscription = true;
+  EXPECT_NO_THROW(simulate_federated(fc, w));
+
+  // Explicit nesting counts both knobs: 1 cell thread x (hw+1) per-cell
+  // threads oversubscribes just the same.
+  fc.cell_threads = 2;
+  fc.tetris.num_threads = static_cast<int>(hw) + 1;
+  fc.allow_oversubscription = false;
+  EXPECT_THROW(simulate_federated(fc, w), std::invalid_argument);
 }
 
 INSTANTIATE_TEST_SUITE_P(
